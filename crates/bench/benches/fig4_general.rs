@@ -1,0 +1,35 @@
+//! Fig. 4: general verification (accurate decoding and correction) of the
+//! rotated surface code, sequential vs parallel, as a function of distance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use veriqec::parallel::{check_parallel, ParallelConfig};
+use veriqec_bench::surface_problem;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_general_verification");
+    group.sample_size(10);
+    for d in [3usize, 5, 7] {
+        let (scenario, problem) = surface_problem(d);
+        group.bench_function(format!("sequential_d{d}"), |b| {
+            b.iter(|| {
+                let (outcome, _) = problem.check();
+                assert!(outcome.is_verified());
+            })
+        });
+        let cfg = ParallelConfig {
+            heuristic_distance: d,
+            et_threshold: 2 * d + 4,
+            ..ParallelConfig::default()
+        };
+        group.bench_function(format!("parallel_d{d}"), |b| {
+            b.iter(|| {
+                let report = check_parallel(&problem, &scenario.error_vars, &cfg);
+                assert!(report.outcome.is_verified());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 6: precise detection of errors (Eqn. 15) on the rotated surface
+//! code — the unsat direction (`d_t = d`) and the counterexample direction
+//! (`d_t = d + 1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use veriqec::tasks::{verify_detection, DetectionOutcome};
+use veriqec_codes::rotated_surface;
+use veriqec_sat::SolverConfig;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_precise_detection");
+    group.sample_size(10);
+    for d in [3usize, 5, 7, 9] {
+        let code = rotated_surface(d);
+        group.bench_function(format!("detect_unsat_d{d}"), |b| {
+            b.iter(|| {
+                let out = verify_detection(&code, d, SolverConfig::default());
+                assert_eq!(out, DetectionOutcome::AllDetected);
+            })
+        });
+        group.bench_function(format!("detect_sat_d{d}"), |b| {
+            b.iter(|| {
+                let out = verify_detection(&code, d + 1, SolverConfig::default());
+                assert!(matches!(out, DetectionOutcome::UndetectedLogical { .. }));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 7: verification with user-provided error constraints (locality,
+//! discreteness, both) on the rotated surface code.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use veriqec::tasks::{discreteness_constraint, locality_constraint, verify_constrained};
+use veriqec_bench::{locality_set, surface_workload};
+use veriqec_sat::SolverConfig;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_constrained_verification");
+    group.sample_size(10);
+    for d in [3usize, 5, 7] {
+        let (_, scenario) = surface_workload(d);
+        let t = (d as i64 - 1) / 2;
+        let loc = locality_constraint(&scenario, &locality_set(d));
+        let disc = discreteness_constraint(&scenario, d);
+        let mut both = loc.clone();
+        both.extend(disc.clone());
+        for (name, cs) in [("locality", loc), ("discreteness", disc), ("both", both)] {
+            let cs = cs.clone();
+            group.bench_function(format!("{name}_d{d}"), |b| {
+                b.iter(|| {
+                    let r = verify_constrained(
+                        &scenario,
+                        t,
+                        cs.clone(),
+                        SolverConfig::default(),
+                    );
+                    assert!(r.outcome.is_verified());
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

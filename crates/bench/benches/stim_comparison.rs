@@ -1,0 +1,43 @@
+//! §7.2 comparison: complete verification vs stabilizer-simulation testing.
+//!
+//! Testing is fast per sample but needs astronomically many samples for
+//! completeness; verification covers all configurations at once. This bench
+//! measures the per-sample cost of the tableau baseline against full
+//! verification of the same workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use veriqec::sampling::sample_scenario;
+use veriqec::scenario::{memory_scenario, ErrorModel};
+use veriqec_bench::surface_problem;
+use veriqec_codes::rotated_surface;
+use veriqec_decoder::{decode_call_oracle, CssLookupDecoder};
+
+fn bench_stim_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stim_comparison");
+    group.sample_size(10);
+    for d in [3usize, 5] {
+        let code = rotated_surface(d);
+        let scenario = memory_scenario(&code, ErrorModel::YErrors);
+        let decoder = CssLookupDecoder::for_code(&code, (d - 1) / 2);
+        let oracle = decode_call_oracle(decoder, code.n());
+        group.bench_function(format!("sampling_100_d{d}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let r = sample_scenario(&scenario, (d - 1) / 2, 100, &oracle, &mut rng);
+                assert_eq!(r.failures, 0);
+            })
+        });
+        let (_, problem) = surface_problem(d);
+        group.bench_function(format!("verification_d{d}"), |b| {
+            b.iter(|| {
+                let (outcome, _) = problem.check();
+                assert!(outcome.is_verified());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stim_comparison);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Table 3: the stabilizer-code benchmark — accurate correction (odd-d
+//! codes) or single-error detection (d = 2 codes) across the zoo.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use veriqec::scenario::{memory_scenario, ErrorModel};
+use veriqec::tasks::{verify_correction, verify_detection, DetectionOutcome};
+use veriqec_codes::{
+    carbon_12_2_4, cube_color_822, five_qubit, gottesman8, hgp_hamming, pair_detection_code,
+    reed_muller, rotated_surface, shor9, six_qubit, steane, toric, xzzx_surface,
+};
+use veriqec_sat::SolverConfig;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_code_benchmark");
+    group.sample_size(10);
+    let correction_codes = [
+        steane(),
+        rotated_surface(3),
+        rotated_surface(5),
+        six_qubit(),
+        five_qubit(),
+        shor9(),
+        reed_muller(4),
+        xzzx_surface(3),
+        gottesman8(),
+        toric(3),
+        hgp_hamming(),
+        carbon_12_2_4(),
+    ];
+    for code in &correction_codes {
+        let d = code.claimed_distance().expect("zoo codes have distances");
+        let t = (d as i64 - 1) / 2;
+        let scenario = memory_scenario(code, ErrorModel::YErrors);
+        let label = code.name().replace([' ', '[', ']', ','], "_");
+        group.bench_function(format!("correct_{label}"), |b| {
+            b.iter(|| {
+                let r = verify_correction(&scenario, t, SolverConfig::default());
+                assert!(r.outcome.is_verified());
+            })
+        });
+    }
+    for code in [cube_color_822(), pair_detection_code(7, 5, 5)] {
+        let label = code.name().replace([' ', '[', ']', ','], "_");
+        group.bench_function(format!("detect_{label}"), |b| {
+            b.iter(|| {
+                let out = verify_detection(&code, 2, SolverConfig::default());
+                assert_eq!(out, DetectionOutcome::AllDetected);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! Regenerates the paper's evaluation tables/figure data as markdown.
+//!
+//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|all] [max_d]`
+
+use std::time::Instant;
+
+use rand::prelude::*;
+use veriqec::parallel::{check_parallel, ParallelConfig};
+use veriqec::sampling::{log2_constrained_configurations, sample_scenario};
+use veriqec::scenario::{memory_scenario, ErrorModel};
+use veriqec::tasks::{
+    discreteness_constraint, locality_constraint, verify_constrained, verify_correction,
+    verify_detection, DetectionOutcome,
+};
+use veriqec_bench::{locality_set, surface_problem, surface_workload};
+use veriqec_codes::{
+    carbon_12_2_4, cube_color_822, five_qubit, gottesman8, hgp_hamming, pair_detection_code,
+    reed_muller, rotated_surface, shor9, six_qubit, steane, toric, xzzx_surface,
+};
+use veriqec_decoder::{decode_call_oracle, CssLookupDecoder};
+use veriqec_sat::SolverConfig;
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let max_d: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    if what == "all" || what == "fig4" {
+        fig4(max_d);
+    }
+    if what == "all" || what == "fig6" {
+        fig6(max_d);
+    }
+    if what == "all" || what == "fig7" {
+        fig7(max_d);
+    }
+    if what == "all" || what == "table3" {
+        table3();
+    }
+    if what == "all" || what == "table4" {
+        table4();
+    }
+    if what == "all" || what == "stim" {
+        stim(max_d);
+    }
+}
+
+fn fig4(max_d: usize) {
+    println!("\n### Fig. 4 — general verification of the rotated surface code\n");
+    println!("| d | qubits | sequential | parallel | subtasks |");
+    println!("|---|--------|-----------|----------|----------|");
+    for d in (3..=max_d).step_by(2) {
+        let (scenario, problem) = surface_problem(d);
+        let t0 = Instant::now();
+        let (seq, _) = problem.check();
+        let seq_t = t0.elapsed();
+        let cfg = ParallelConfig {
+            heuristic_distance: d,
+            et_threshold: 2 * d + 4,
+            ..ParallelConfig::default()
+        };
+        let par = check_parallel(&problem, &scenario.error_vars, &cfg);
+        assert!(seq.is_verified() && par.outcome.is_verified());
+        println!(
+            "| {d} | {} | {seq_t:?} | {:?} | {} |",
+            d * d,
+            par.wall_time,
+            par.subtasks
+        );
+    }
+}
+
+fn fig6(max_d: usize) {
+    println!("\n### Fig. 6 — precise detection on the rotated surface code\n");
+    println!("| d | d_t = d (unsat) | d_t = d+1 (sat, finds logical) |");
+    println!("|---|----------------|-------------------------------|");
+    for d in (3..=max_d).step_by(2) {
+        let code = rotated_surface(d);
+        let t0 = Instant::now();
+        let a = verify_detection(&code, d, SolverConfig::default());
+        let ta = t0.elapsed();
+        let t0 = Instant::now();
+        let b = verify_detection(&code, d + 1, SolverConfig::default());
+        let tb = t0.elapsed();
+        assert_eq!(a, DetectionOutcome::AllDetected);
+        assert!(matches!(b, DetectionOutcome::UndetectedLogical { .. }));
+        println!("| {d} | {ta:?} | {tb:?} |");
+    }
+}
+
+fn fig7(max_d: usize) {
+    println!("\n### Fig. 7 — verification with user-provided error constraints\n");
+    println!("| d | general | locality | discreteness | both |");
+    println!("|---|---------|----------|--------------|------|");
+    for d in (3..=max_d).step_by(2) {
+        let (_, scenario) = surface_workload(d);
+        let t = (d as i64 - 1) / 2;
+        let t0 = Instant::now();
+        let g = verify_correction(&scenario, t, SolverConfig::default());
+        let tg = t0.elapsed();
+        let loc = locality_constraint(&scenario, &locality_set(d));
+        let disc = discreteness_constraint(&scenario, d);
+        let mut both = loc.clone();
+        both.extend(disc.clone());
+        let r1 = verify_constrained(&scenario, t, loc, SolverConfig::default());
+        let r2 = verify_constrained(&scenario, t, disc, SolverConfig::default());
+        let r3 = verify_constrained(&scenario, t, both, SolverConfig::default());
+        assert!(
+            g.outcome.is_verified()
+                && r1.outcome.is_verified()
+                && r2.outcome.is_verified()
+                && r3.outcome.is_verified()
+        );
+        println!(
+            "| {d} | {tg:?} | {:?} | {:?} | {:?} |",
+            r1.wall_time, r2.wall_time, r3.wall_time
+        );
+    }
+}
+
+fn table3() {
+    println!("\n### Table 3 — benchmark of verified stabilizer codes\n");
+    println!("| code | [[n,k,d]] | task | time |");
+    println!("|------|-----------|------|------|");
+    let codes = vec![
+        steane(),
+        rotated_surface(3),
+        rotated_surface(5),
+        rotated_surface(7),
+        six_qubit(),
+        five_qubit(),
+        shor9(),
+        reed_muller(4),
+        reed_muller(5),
+        xzzx_surface(3),
+        xzzx_surface(5),
+        gottesman8(),
+        toric(3),
+        toric(4),
+        hgp_hamming(),
+        carbon_12_2_4(),
+    ];
+    for code in codes {
+        let d = code.claimed_distance().expect("known");
+        let t = (d as i64 - 1) / 2;
+        if t >= 1 {
+            let scenario = memory_scenario(&code, ErrorModel::YErrors);
+            let r = verify_correction(&scenario, t, SolverConfig::default());
+            assert!(r.outcome.is_verified(), "{}", code.name());
+            println!(
+                "| {} | [[{},{},{}]] | correction | {:?} |",
+                code.name(),
+                code.n(),
+                code.k(),
+                d,
+                r.wall_time
+            );
+        }
+    }
+    for code in [cube_color_822(), pair_detection_code(7, 5, 5), pair_detection_code(10, 4, 4)] {
+        let t0 = Instant::now();
+        let out = verify_detection(&code, 2, SolverConfig::default());
+        assert_eq!(out, DetectionOutcome::AllDetected);
+        println!(
+            "| {} | [[{},{},2]] | detection | {:?} |",
+            code.name(),
+            code.n(),
+            code.k(),
+            t0.elapsed()
+        );
+    }
+}
+
+fn table4() {
+    println!("\n### Table 4 — scenario/functionality matrix (this reproduction)\n");
+    println!("| scenario | supported | regenerated by |");
+    println!("|----------|-----------|----------------|");
+    for (name, target) in [
+        ("error-free logical ops (L̄)", "scenario::ScenarioBuilder::logical_*"),
+        ("logical-free (E M C)", "scenario::memory_scenario"),
+        ("error in correction (L̄ M C_E)", "scenario::correction_fault_scenario"),
+        ("one cycle (E L̄ E M C)", "scenario::logical_h_scenario"),
+        ("multi cycle", "scenario::multi_cycle_scenario"),
+        ("general verification (C)", "tasks::verify_correction"),
+        ("bug reporting (R)", "VcOutcome::CounterExample"),
+        ("fixed errors (F)", "tasks::verify_nonpauli_memory"),
+    ] {
+        println!("| {name} | yes | `{target}` |");
+    }
+}
+
+fn stim(max_d: usize) {
+    println!("\n### §7.2 — verification vs sampling (Stim-style baseline)\n");
+    println!("| d | samples/s (tableau) | complete verification | log2(required samples, discreteness) |");
+    println!("|---|---------------------|----------------------|----------------------------------------|");
+    for d in (3..=max_d.min(5)).step_by(2) {
+        let code = rotated_surface(d);
+        let scenario = memory_scenario(&code, ErrorModel::YErrors);
+        let decoder = CssLookupDecoder::for_code(&code, (d - 1) / 2);
+        let oracle = decode_call_oracle(decoder, code.n());
+        let mut rng = StdRng::seed_from_u64(3);
+        let rep = sample_scenario(&scenario, (d - 1) / 2, 300, &oracle, &mut rng);
+        assert_eq!(rep.failures, 0);
+        let rate = rep.samples as f64 / rep.seconds;
+        let (_, problem) = surface_problem(d);
+        let t0 = Instant::now();
+        let (outcome, _) = problem.check();
+        assert!(outcome.is_verified());
+        let vt = t0.elapsed();
+        println!(
+            "| {d} | {rate:.0} | {vt:?} | {:.1} bits |",
+            log2_constrained_configurations(d * d / d, d)
+        );
+    }
+    println!(
+        "\nPaper's d = 19 story: discreteness constraint leaves ~2^{:.1} configurations — \
+         beyond any sampling budget, while partial verification handles it symbolically.",
+        log2_constrained_configurations(18, 18)
+    );
+}

@@ -1,0 +1,32 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each Criterion bench and table binary regenerates one table or figure of
+//! the paper's evaluation section; `DESIGN.md` maps experiment ids to
+//! targets, and `EXPERIMENTS.md` records paper-vs-measured results.
+
+use veriqec::scenario::{memory_scenario, ErrorModel, Scenario};
+use veriqec::tasks::build_problem;
+use veriqec_codes::{rotated_surface, StabilizerCode};
+use veriqec_vcgen::VcProblem;
+
+/// The rotated-surface memory workload of Figs. 4/6/7 at distance `d`.
+pub fn surface_workload(d: usize) -> (StabilizerCode, Scenario) {
+    let code = rotated_surface(d);
+    let scenario = memory_scenario(&code, ErrorModel::YErrors);
+    (code, scenario)
+}
+
+/// The fully assembled general-verification problem for distance `d`.
+pub fn surface_problem(d: usize) -> (Scenario, VcProblem) {
+    let (_, scenario) = surface_workload(d);
+    let t = (d as i64 - 1) / 2;
+    let problem = build_problem(&scenario, t, vec![]);
+    (scenario, problem)
+}
+
+/// Deterministic "random" qubit subset for the locality constraint.
+pub fn locality_set(d: usize) -> Vec<usize> {
+    let n = d * d;
+    let count = (n - 1) / 2;
+    (0..count).map(|i| (i * 7 + 3) % n).collect()
+}

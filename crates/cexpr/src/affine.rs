@@ -1,0 +1,242 @@
+//! XOR-affine boolean forms: the phases `(-1)^φ` of symbolic Pauli operators.
+//!
+//! Every proof rule of the paper's Fig. 3 that a QEC program exercises maps a
+//! phase `φ` to `φ ⊕ δ` with `δ` affine in the classical variables, so the
+//! whole weakest-precondition pipeline can carry phases in this closed form.
+
+use crate::{BExp, CMem, VarId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An affine form over GF(2): `c ⊕ v₁ ⊕ v₂ ⊕ …` with distinct variables.
+///
+/// # Examples
+///
+/// ```
+/// use veriqec_cexpr::{Affine, VarId};
+/// let e = Affine::var(VarId(0)) ^ Affine::var(VarId(1)) ^ Affine::one();
+/// assert_eq!(e.to_string(), "1 + v0 + v1");
+/// // x ⊕ x = 0
+/// assert!((Affine::var(VarId(0)) ^ Affine::var(VarId(0))).is_zero());
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Affine {
+    constant: bool,
+    vars: BTreeSet<VarId>,
+}
+
+impl Affine {
+    /// The zero form (phase `+1`).
+    pub fn zero() -> Self {
+        Affine::default()
+    }
+
+    /// The constant-one form (phase `-1`).
+    pub fn one() -> Self {
+        Affine {
+            constant: true,
+            vars: BTreeSet::new(),
+        }
+    }
+
+    /// A single variable.
+    pub fn var(v: VarId) -> Self {
+        Affine {
+            constant: false,
+            vars: BTreeSet::from([v]),
+        }
+    }
+
+    /// A constant.
+    pub fn constant(c: bool) -> Self {
+        Affine {
+            constant: c,
+            vars: BTreeSet::new(),
+        }
+    }
+
+    /// The XOR of several variables.
+    pub fn sum_vars<I: IntoIterator<Item = VarId>>(vars: I) -> Self {
+        vars.into_iter()
+            .fold(Affine::zero(), |acc, v| acc ^ Affine::var(v))
+    }
+
+    /// True when this is the constant 0.
+    pub fn is_zero(&self) -> bool {
+        !self.constant && self.vars.is_empty()
+    }
+
+    /// True when this is the constant 1.
+    pub fn is_one(&self) -> bool {
+        self.constant && self.vars.is_empty()
+    }
+
+    /// True when no variables occur.
+    pub fn is_constant(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> bool {
+        self.constant
+    }
+
+    /// The set of variables with odd coefficient.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.vars.iter().copied()
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when `v` occurs in the form.
+    pub fn contains(&self, v: VarId) -> bool {
+        self.vars.contains(&v)
+    }
+
+    /// XORs in a single variable.
+    pub fn xor_var(&mut self, v: VarId) {
+        if !self.vars.remove(&v) {
+            self.vars.insert(v);
+        }
+    }
+
+    /// XORs in a constant.
+    pub fn xor_const(&mut self, c: bool) {
+        self.constant ^= c;
+    }
+
+    /// Conditionally XORs another form: `self ⊕= cond · other` where `cond`
+    /// is a compile-time boolean. A convenience for phase-update rules.
+    pub fn xor_if(&mut self, cond: bool, other: &Affine) {
+        if cond {
+            *self = self.clone() ^ other.clone();
+        }
+    }
+
+    /// Substitutes variable `v` by another affine form.
+    pub fn subst(&self, v: VarId, e: &Affine) -> Affine {
+        if !self.vars.contains(&v) {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.vars.remove(&v);
+        out ^ e.clone()
+    }
+
+    /// Evaluates under a classical memory.
+    pub fn eval(&self, m: &CMem) -> bool {
+        self.vars
+            .iter()
+            .fold(self.constant, |acc, &v| acc ^ m.get(v).as_bool())
+    }
+
+    /// Converts to a general boolean expression (an XOR chain).
+    pub fn to_bexp(&self) -> BExp {
+        self.vars.iter().fold(BExp::Const(self.constant), |acc, &v| {
+            BExp::xor(acc, BExp::var(v))
+        })
+    }
+}
+
+impl std::ops::BitXor for Affine {
+    type Output = Affine;
+
+    fn bitxor(self, rhs: Affine) -> Affine {
+        let mut out = Affine {
+            constant: self.constant ^ rhs.constant,
+            vars: self.vars,
+        };
+        for v in rhs.vars {
+            out.xor_var(v);
+        }
+        out
+    }
+}
+
+impl std::ops::BitXorAssign for Affine {
+    fn bitxor_assign(&mut self, rhs: Affine) {
+        self.constant ^= rhs.constant;
+        for v in rhs.vars {
+            self.xor_var(v);
+        }
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        if self.constant {
+            write!(f, "1")?;
+            first = false;
+        }
+        for v in &self.vars {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "v{}", v.0)?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<VarId> for Affine {
+    fn from(v: VarId) -> Self {
+        Affine::var(v)
+    }
+}
+
+impl From<bool> for Affine {
+    fn from(c: bool) -> Self {
+        Affine::constant(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn xor_cancels_duplicates() {
+        let a = Affine::var(VarId(1)) ^ Affine::var(VarId(2)) ^ Affine::var(VarId(1));
+        assert_eq!(a, Affine::var(VarId(2)));
+    }
+
+    #[test]
+    fn subst_expands() {
+        // (v0 ⊕ v1)[v0 := v1 ⊕ 1] = 1
+        let a = Affine::var(VarId(0)) ^ Affine::var(VarId(1));
+        let r = a.subst(VarId(0), &(Affine::var(VarId(1)) ^ Affine::one()));
+        assert!(r.is_one());
+    }
+
+    #[test]
+    fn eval_and_to_bexp_agree() {
+        let a = Affine::var(VarId(0)) ^ Affine::var(VarId(1)) ^ Affine::one();
+        for bits in 0..4u8 {
+            let mut m = CMem::new();
+            m.set(VarId(0), Value::Bool(bits & 1 == 1));
+            m.set(VarId(1), Value::Bool(bits & 2 == 2));
+            assert_eq!(a.eval(&m), a.to_bexp().eval(&m));
+        }
+    }
+
+    #[test]
+    fn subst_absent_var_is_identity() {
+        let a = Affine::var(VarId(3));
+        assert_eq!(a.subst(VarId(9), &Affine::one()), a);
+    }
+}

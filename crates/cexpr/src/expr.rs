@@ -1,0 +1,558 @@
+//! Boolean and integer expression ASTs (Appendix A.1 of the paper).
+
+use crate::{CMem, VarId, Value};
+use std::fmt;
+use std::sync::Arc as Rc;
+
+/// Integer expressions `IExp` (Appendix A.1).
+///
+/// Grammar: constants, variables, negation, sums and products. Boolean
+/// variables coerce to integers (`true` = 1, `false` = 0), matching the paper.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum IExp {
+    /// Integer literal.
+    Const(i64),
+    /// Program variable (boolean variables coerce to 0/1).
+    Var(VarId),
+    /// Arithmetic negation.
+    Neg(Rc<IExp>),
+    /// Sum.
+    Add(Rc<IExp>, Rc<IExp>),
+    /// Product.
+    Mul(Rc<IExp>, Rc<IExp>),
+}
+
+/// Boolean expressions `BExp` (Appendix A.1), extended with XOR, which the
+/// tool layer uses to express GF(2) phase equations.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum BExp {
+    /// Boolean literal.
+    Const(bool),
+    /// Program variable.
+    Var(VarId),
+    /// Integer equality.
+    Eq(Rc<IExp>, Rc<IExp>),
+    /// Integer less-or-equal.
+    Le(Rc<IExp>, Rc<IExp>),
+    /// Logical negation.
+    Not(Rc<BExp>),
+    /// Conjunction.
+    And(Rc<BExp>, Rc<BExp>),
+    /// Disjunction.
+    Or(Rc<BExp>, Rc<BExp>),
+    /// Classical implication.
+    Implies(Rc<BExp>, Rc<BExp>),
+    /// Exclusive or (GF(2) sum).
+    Xor(Rc<BExp>, Rc<BExp>),
+}
+
+impl IExp {
+    /// Integer constant.
+    pub fn constant(c: i64) -> Self {
+        IExp::Const(c)
+    }
+
+    /// Variable reference.
+    pub fn var(v: VarId) -> Self {
+        IExp::Var(v)
+    }
+
+    /// Sum of a sequence of expressions (empty sum is 0).
+    pub fn sum<I: IntoIterator<Item = IExp>>(terms: I) -> Self {
+        let mut it = terms.into_iter();
+        let Some(first) = it.next() else {
+            return IExp::Const(0);
+        };
+        it.fold(first, |acc, t| IExp::Add(Rc::new(acc), Rc::new(t)))
+    }
+
+    /// Sum of variables, e.g. `Σ e_i`.
+    pub fn sum_vars<I: IntoIterator<Item = VarId>>(vars: I) -> Self {
+        IExp::sum(vars.into_iter().map(IExp::Var))
+    }
+
+    /// Evaluates under a classical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is unbound in `m`.
+    pub fn eval(&self, m: &CMem) -> i64 {
+        match self {
+            IExp::Const(c) => *c,
+            IExp::Var(v) => m.get(*v).as_int(),
+            IExp::Neg(e) => -e.eval(m),
+            IExp::Add(a, b) => a.eval(m) + b.eval(m),
+            IExp::Mul(a, b) => a.eval(m) * b.eval(m),
+        }
+    }
+
+    /// Substitutes variable `v` by expression `e`.
+    pub fn subst(&self, v: VarId, e: &IExp) -> IExp {
+        match self {
+            IExp::Const(_) => self.clone(),
+            IExp::Var(w) => {
+                if *w == v {
+                    e.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            IExp::Neg(a) => IExp::Neg(Rc::new(a.subst(v, e))),
+            IExp::Add(a, b) => IExp::Add(Rc::new(a.subst(v, e)), Rc::new(b.subst(v, e))),
+            IExp::Mul(a, b) => IExp::Mul(Rc::new(a.subst(v, e)), Rc::new(b.subst(v, e))),
+        }
+    }
+
+    /// Collects free variables into `out`.
+    pub fn free_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            IExp::Const(_) => {}
+            IExp::Var(v) => out.push(*v),
+            IExp::Neg(a) => a.free_vars(out),
+            IExp::Add(a, b) | IExp::Mul(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+        }
+    }
+
+    /// Normalizes to a *linear form* `Σ coeff_i · v_i + c` if the expression
+    /// is linear; returns `None` when a product of two non-constant
+    /// subexpressions occurs.
+    pub fn linearize(&self) -> Option<(Vec<(VarId, i64)>, i64)> {
+        match self {
+            IExp::Const(c) => Some((vec![], *c)),
+            IExp::Var(v) => Some((vec![(*v, 1)], 0)),
+            IExp::Neg(a) => {
+                let (mut terms, c) = a.linearize()?;
+                for t in &mut terms {
+                    t.1 = -t.1;
+                }
+                Some((terms, -c))
+            }
+            IExp::Add(a, b) => {
+                let (mut ta, ca) = a.linearize()?;
+                let (tb, cb) = b.linearize()?;
+                ta.extend(tb);
+                Some((merge_linear(ta), ca + cb))
+            }
+            IExp::Mul(a, b) => {
+                let la = a.linearize()?;
+                let lb = b.linearize()?;
+                match (la.0.is_empty(), lb.0.is_empty()) {
+                    (true, _) => {
+                        let k = la.1;
+                        let (mut terms, c) = lb;
+                        for t in &mut terms {
+                            t.1 *= k;
+                        }
+                        Some((merge_linear(terms), c * k))
+                    }
+                    (_, true) => {
+                        let k = lb.1;
+                        let (mut terms, c) = la;
+                        for t in &mut terms {
+                            t.1 *= k;
+                        }
+                        Some((merge_linear(terms), c * k))
+                    }
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+fn merge_linear(mut terms: Vec<(VarId, i64)>) -> Vec<(VarId, i64)> {
+    terms.sort_by_key(|t| t.0);
+    let mut out: Vec<(VarId, i64)> = Vec::with_capacity(terms.len());
+    for (v, c) in terms {
+        match out.last_mut() {
+            Some(last) if last.0 == v => last.1 += c,
+            _ => out.push((v, c)),
+        }
+    }
+    out.retain(|t| t.1 != 0);
+    out
+}
+
+impl BExp {
+    /// Boolean literal `true`.
+    pub fn tt() -> Self {
+        BExp::Const(true)
+    }
+
+    /// Boolean literal `false`.
+    pub fn ff() -> Self {
+        BExp::Const(false)
+    }
+
+    /// Variable reference.
+    pub fn var(v: VarId) -> Self {
+        BExp::Var(v)
+    }
+
+    /// `a == b` on integer expressions.
+    pub fn eq(a: IExp, b: IExp) -> Self {
+        BExp::Eq(Rc::new(a), Rc::new(b))
+    }
+
+    /// `a <= b` on integer expressions.
+    pub fn le(a: IExp, b: IExp) -> Self {
+        BExp::Le(Rc::new(a), Rc::new(b))
+    }
+
+    /// Logical negation (with constant folding).
+    pub fn not(a: BExp) -> Self {
+        match a {
+            BExp::Const(c) => BExp::Const(!c),
+            other => BExp::Not(Rc::new(other)),
+        }
+    }
+
+    /// Conjunction (with unit folding).
+    pub fn and(a: BExp, b: BExp) -> Self {
+        match (a, b) {
+            (BExp::Const(true), x) | (x, BExp::Const(true)) => x,
+            (BExp::Const(false), _) | (_, BExp::Const(false)) => BExp::ff(),
+            (a, b) => BExp::And(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// Disjunction (with unit folding).
+    pub fn or(a: BExp, b: BExp) -> Self {
+        match (a, b) {
+            (BExp::Const(false), x) | (x, BExp::Const(false)) => x,
+            (BExp::Const(true), _) | (_, BExp::Const(true)) => BExp::tt(),
+            (a, b) => BExp::Or(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// Classical implication.
+    pub fn implies(a: BExp, b: BExp) -> Self {
+        match (a, b) {
+            (BExp::Const(true), x) => x,
+            (BExp::Const(false), _) => BExp::tt(),
+            (_, BExp::Const(true)) => BExp::tt(),
+            (a, BExp::Const(false)) => BExp::not(a),
+            (a, b) => BExp::Implies(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// Exclusive or (with unit folding).
+    pub fn xor(a: BExp, b: BExp) -> Self {
+        match (a, b) {
+            (BExp::Const(false), x) | (x, BExp::Const(false)) => x,
+            (BExp::Const(true), x) | (x, BExp::Const(true)) => BExp::not(x),
+            (a, b) => BExp::Xor(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// Conjunction of a sequence (empty conjunction is `true`).
+    pub fn conj<I: IntoIterator<Item = BExp>>(terms: I) -> Self {
+        terms.into_iter().fold(BExp::tt(), BExp::and)
+    }
+
+    /// Disjunction of a sequence (empty disjunction is `false`).
+    pub fn disj<I: IntoIterator<Item = BExp>>(terms: I) -> Self {
+        terms.into_iter().fold(BExp::ff(), BExp::or)
+    }
+
+    /// `Σ vars <= k` — the standard error-weight constraint.
+    pub fn weight_le<I: IntoIterator<Item = VarId>>(vars: I, k: i64) -> Self {
+        BExp::le(IExp::sum_vars(vars), IExp::constant(k))
+    }
+
+    /// Evaluates under a classical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is unbound in `m`.
+    pub fn eval(&self, m: &CMem) -> bool {
+        match self {
+            BExp::Const(c) => *c,
+            BExp::Var(v) => m.get(*v).as_bool(),
+            BExp::Eq(a, b) => a.eval(m) == b.eval(m),
+            BExp::Le(a, b) => a.eval(m) <= b.eval(m),
+            BExp::Not(a) => !a.eval(m),
+            BExp::And(a, b) => a.eval(m) && b.eval(m),
+            BExp::Or(a, b) => a.eval(m) || b.eval(m),
+            BExp::Implies(a, b) => !a.eval(m) || b.eval(m),
+            BExp::Xor(a, b) => a.eval(m) ^ b.eval(m),
+        }
+    }
+
+    /// Substitutes boolean variable `v` by boolean expression `e`.
+    ///
+    /// Note: if `v` also occurs inside integer subexpressions (via coercion),
+    /// it is substituted there only when `e` is itself a variable or constant;
+    /// otherwise the occurrence is left untouched and a panic is raised to
+    /// avoid a silently wrong result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` occurs in an integer context and `e` is not atomic.
+    pub fn subst(&self, v: VarId, e: &BExp) -> BExp {
+        let ie: Option<IExp> = match e {
+            BExp::Var(w) => Some(IExp::Var(*w)),
+            BExp::Const(c) => Some(IExp::Const(i64::from(*c))),
+            _ => None,
+        };
+        let subst_i = |a: &IExp| -> IExp {
+            let mut vars = Vec::new();
+            a.free_vars(&mut vars);
+            if vars.contains(&v) {
+                let ie = ie
+                    .clone()
+                    .expect("cannot substitute non-atomic boolean into integer context");
+                a.subst(v, &ie)
+            } else {
+                a.clone()
+            }
+        };
+        match self {
+            BExp::Const(_) => self.clone(),
+            BExp::Var(w) => {
+                if *w == v {
+                    e.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            BExp::Eq(a, b) => BExp::Eq(Rc::new(subst_i(a)), Rc::new(subst_i(b))),
+            BExp::Le(a, b) => BExp::Le(Rc::new(subst_i(a)), Rc::new(subst_i(b))),
+            BExp::Not(a) => BExp::not(a.subst(v, e)),
+            BExp::And(a, b) => BExp::and(a.subst(v, e), b.subst(v, e)),
+            BExp::Or(a, b) => BExp::or(a.subst(v, e), b.subst(v, e)),
+            BExp::Implies(a, b) => BExp::implies(a.subst(v, e), b.subst(v, e)),
+            BExp::Xor(a, b) => BExp::xor(a.subst(v, e), b.subst(v, e)),
+        }
+    }
+
+    /// Collects free variables into `out` (may contain duplicates).
+    pub fn free_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            BExp::Const(_) => {}
+            BExp::Var(v) => out.push(*v),
+            BExp::Eq(a, b) | BExp::Le(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            BExp::Not(a) => a.free_vars(out),
+            BExp::And(a, b) | BExp::Or(a, b) | BExp::Implies(a, b) | BExp::Xor(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+        }
+    }
+}
+
+impl From<Value> for BExp {
+    fn from(v: Value) -> Self {
+        BExp::Const(v.as_bool())
+    }
+}
+
+struct NameDisplay<'a, T>(&'a T, Option<&'a crate::VarTable>);
+
+impl fmt::Display for IExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", NameDisplay(self, None))
+    }
+}
+
+impl fmt::Display for BExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", NameDisplay(self, None))
+    }
+}
+
+impl fmt::Debug for IExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Debug for BExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for NameDisplay<'_, IExp> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |v: VarId| -> String {
+            match self.1 {
+                Some(vt) => vt.name(v).to_string(),
+                None => format!("v{}", v.0),
+            }
+        };
+        match self.0 {
+            IExp::Const(c) => write!(f, "{c}"),
+            IExp::Var(v) => write!(f, "{}", name(*v)),
+            IExp::Neg(a) => write!(f, "-({})", NameDisplay(a.as_ref(), self.1)),
+            IExp::Add(a, b) => write!(
+                f,
+                "({} + {})",
+                NameDisplay(a.as_ref(), self.1),
+                NameDisplay(b.as_ref(), self.1)
+            ),
+            IExp::Mul(a, b) => write!(
+                f,
+                "({} * {})",
+                NameDisplay(a.as_ref(), self.1),
+                NameDisplay(b.as_ref(), self.1)
+            ),
+        }
+    }
+}
+
+impl fmt::Display for NameDisplay<'_, BExp> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |v: VarId| -> String {
+            match self.1 {
+                Some(vt) => vt.name(v).to_string(),
+                None => format!("v{}", v.0),
+            }
+        };
+        match self.0 {
+            BExp::Const(c) => write!(f, "{c}"),
+            BExp::Var(v) => write!(f, "{}", name(*v)),
+            BExp::Eq(a, b) => write!(
+                f,
+                "{} == {}",
+                NameDisplay(a.as_ref(), self.1),
+                NameDisplay(b.as_ref(), self.1)
+            ),
+            BExp::Le(a, b) => write!(
+                f,
+                "{} <= {}",
+                NameDisplay(a.as_ref(), self.1),
+                NameDisplay(b.as_ref(), self.1)
+            ),
+            BExp::Not(a) => write!(f, "!({})", NameDisplay(a.as_ref(), self.1)),
+            BExp::And(a, b) => write!(
+                f,
+                "({} && {})",
+                NameDisplay(a.as_ref(), self.1),
+                NameDisplay(b.as_ref(), self.1)
+            ),
+            BExp::Or(a, b) => write!(
+                f,
+                "({} || {})",
+                NameDisplay(a.as_ref(), self.1),
+                NameDisplay(b.as_ref(), self.1)
+            ),
+            BExp::Implies(a, b) => write!(
+                f,
+                "({} -> {})",
+                NameDisplay(a.as_ref(), self.1),
+                NameDisplay(b.as_ref(), self.1)
+            ),
+            BExp::Xor(a, b) => write!(
+                f,
+                "({} ^ {})",
+                NameDisplay(a.as_ref(), self.1),
+                NameDisplay(b.as_ref(), self.1)
+            ),
+        }
+    }
+}
+
+impl BExp {
+    /// Pretty-prints with variable names resolved through `vt`.
+    pub fn display_with(&self, vt: &crate::VarTable) -> String {
+        format!("{}", NameDisplay(self, Some(vt)))
+    }
+}
+
+impl IExp {
+    /// Pretty-prints with variable names resolved through `vt`.
+    pub fn display_with(&self, vt: &crate::VarTable) -> String {
+        format!("{}", NameDisplay(self, Some(vt)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{VarRole, VarTable};
+
+    fn setup() -> (VarTable, VarId, VarId, VarId) {
+        let mut vt = VarTable::new();
+        let a = vt.fresh("a", VarRole::Aux);
+        let b = vt.fresh("b", VarRole::Aux);
+        let c = vt.fresh("c", VarRole::Aux);
+        (vt, a, b, c)
+    }
+
+    #[test]
+    fn eval_arith_and_bool() {
+        let (_, a, b, _) = setup();
+        let mut m = CMem::new();
+        m.set(a, Value::Int(2));
+        m.set(b, Value::Bool(true));
+        let e = IExp::Add(
+            Rc::new(IExp::Var(a)),
+            Rc::new(IExp::Mul(Rc::new(IExp::Var(b)), Rc::new(IExp::Const(3)))),
+        );
+        assert_eq!(e.eval(&m), 5);
+        let be = BExp::le(e, IExp::constant(5));
+        assert!(be.eval(&m));
+    }
+
+    #[test]
+    fn subst_bool_var() {
+        let (_, a, b, _) = setup();
+        let e = BExp::and(BExp::var(a), BExp::var(b));
+        let e2 = e.subst(a, &BExp::Const(true));
+        assert_eq!(e2, BExp::var(b));
+    }
+
+    #[test]
+    fn subst_in_integer_context_with_atomic_rhs() {
+        let (_, a, b, _) = setup();
+        let e = BExp::weight_le([a, b], 1);
+        let e2 = e.subst(a, &BExp::Const(false));
+        let mut m = CMem::new();
+        m.set(b, Value::Bool(true));
+        assert!(e2.eval(&m));
+    }
+
+    #[test]
+    fn linearize_sums() {
+        let (_, a, b, _) = setup();
+        let e = IExp::sum([
+            IExp::var(a),
+            IExp::var(b),
+            IExp::var(a),
+            IExp::constant(4),
+        ]);
+        let (terms, c) = e.linearize().unwrap();
+        assert_eq!(c, 4);
+        assert_eq!(terms, vec![(a, 2), (b, 1)]);
+    }
+
+    #[test]
+    fn linearize_rejects_products() {
+        let (_, a, b, _) = setup();
+        let e = IExp::Mul(Rc::new(IExp::var(a)), Rc::new(IExp::var(b)));
+        assert!(e.linearize().is_none());
+    }
+
+    #[test]
+    fn constant_folding_in_builders() {
+        let (_, a, _, _) = setup();
+        assert_eq!(BExp::and(BExp::tt(), BExp::var(a)), BExp::var(a));
+        assert_eq!(BExp::or(BExp::tt(), BExp::var(a)), BExp::tt());
+        assert_eq!(BExp::xor(BExp::ff(), BExp::var(a)), BExp::var(a));
+        assert_eq!(BExp::implies(BExp::ff(), BExp::var(a)), BExp::tt());
+    }
+
+    #[test]
+    fn display_with_names() {
+        let (vt, a, b, _) = setup();
+        let e = BExp::xor(BExp::var(a), BExp::var(b));
+        assert_eq!(e.display_with(&vt), "(a ^ b)");
+    }
+}

@@ -1,0 +1,82 @@
+//! Classical expressions and memories for QEC program verification.
+//!
+//! This crate implements the classical side of the paper's hybrid
+//! classical–quantum language (Appendix A.1): integer and boolean expression
+//! ASTs ([`IExp`], [`BExp`]), classical memories ([`CMem`]), a variable
+//! registry ([`VarTable`]) and the XOR-affine forms ([`Affine`]) used as the
+//! symbolic phases of Pauli expressions throughout the verification pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use veriqec_cexpr::{Affine, BExp, CMem, IExp, Value, VarRole, VarTable};
+//!
+//! let mut vt = VarTable::new();
+//! let e1 = vt.fresh("e_1", VarRole::Error);
+//! let e2 = vt.fresh("e_2", VarRole::Error);
+//!
+//! // The error-weight constraint  e_1 + e_2 <= 1.
+//! let pc = BExp::weight_le([e1, e2], 1);
+//! let mut m = CMem::new();
+//! m.set(e1, Value::Bool(true));
+//! assert!(pc.eval(&m));
+//!
+//! // A symbolic phase (-1)^(e_1 ⊕ e_2).
+//! let phi = Affine::var(e1) ^ Affine::var(e2);
+//! assert!(phi.eval(&m));
+//! ```
+
+mod affine;
+mod expr;
+mod mem;
+mod vars;
+
+pub use affine::Affine;
+pub use expr::{BExp, IExp};
+pub use mem::{CMem, Value};
+pub use vars::{VarId, VarRole, VarTable};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_affine() -> impl Strategy<Value = Affine> {
+        (any::<bool>(), proptest::collection::btree_set(0u32..8, 0..5)).prop_map(|(c, vars)| {
+            let mut a = Affine::constant(c);
+            for v in vars {
+                a.xor_var(VarId(v));
+            }
+            a
+        })
+    }
+
+    fn arb_mem() -> impl Strategy<Value = CMem> {
+        proptest::collection::vec(any::<bool>(), 8).prop_map(|bits| {
+            bits.into_iter()
+                .enumerate()
+                .map(|(i, b)| (VarId(i as u32), Value::Bool(b)))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn affine_xor_is_pointwise(a in arb_affine(), b in arb_affine(), m in arb_mem()) {
+            prop_assert_eq!((a.clone() ^ b.clone()).eval(&m), a.eval(&m) ^ b.eval(&m));
+        }
+
+        #[test]
+        fn affine_subst_is_semantic(a in arb_affine(), e in arb_affine(), m in arb_mem(), v in 0u32..8) {
+            // a[v := e] evaluated at m equals a evaluated at m[v := e(m)].
+            let v = VarId(v);
+            let m2 = m.updated(v, Value::Bool(e.eval(&m)));
+            prop_assert_eq!(a.subst(v, &e).eval(&m), a.eval(&m2));
+        }
+
+        #[test]
+        fn to_bexp_roundtrip(a in arb_affine(), m in arb_mem()) {
+            prop_assert_eq!(a.to_bexp().eval(&m), a.eval(&m));
+        }
+    }
+}

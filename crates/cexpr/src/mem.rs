@@ -1,0 +1,153 @@
+//! Classical memory (`CMem` in the paper): a map from variables to values.
+
+use crate::VarId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A classical value: integer or boolean, with the paper's coercion
+/// (`true` = 1, `false` = 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// Coerces to an integer.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(i) => i,
+            Value::Bool(b) => i64::from(b),
+        }
+    }
+
+    /// Coerces to a boolean (integers: nonzero is `true`).
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Int(i) => i != 0,
+            Value::Bool(b) => b,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+/// A state of the classical memory: a finite map `VarId -> Value`.
+///
+/// Unbound variables default to `false`/`0`, which keeps evaluation total and
+/// mirrors how the SMT layer treats unconstrained variables in models.
+///
+/// # Examples
+///
+/// ```
+/// use veriqec_cexpr::{CMem, Value, VarId};
+/// let mut m = CMem::new();
+/// m.set(VarId(0), Value::Bool(true));
+/// assert!(m.get(VarId(0)).as_bool());
+/// assert_eq!(m.get(VarId(7)).as_int(), 0); // default
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct CMem {
+    vals: BTreeMap<VarId, Value>,
+}
+
+impl CMem {
+    /// Creates an empty memory (all variables default to 0/false).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a variable (default `Bool(false)` when unbound).
+    pub fn get(&self, v: VarId) -> Value {
+        self.vals.get(&v).copied().unwrap_or(Value::Bool(false))
+    }
+
+    /// Writes a variable.
+    pub fn set(&mut self, v: VarId, val: Value) {
+        self.vals.insert(v, val);
+    }
+
+    /// Returns an updated copy — the `m[v := val]` notation of the paper.
+    pub fn updated(&self, v: VarId, val: Value) -> CMem {
+        let mut m = self.clone();
+        m.set(v, val);
+        m
+    }
+
+    /// Iterates over explicit bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Value)> + '_ {
+        self.vals.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of explicit bindings.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when no variable is explicitly bound.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+}
+
+impl fmt::Debug for CMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CMem{{")?;
+        for (i, (k, v)) in self.vals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match v {
+                Value::Int(n) => write!(f, "v{}={n}", k.0)?,
+                Value::Bool(b) => write!(f, "v{}={}", k.0, if *b { 1 } else { 0 })?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(VarId, Value)> for CMem {
+    fn from_iter<I: IntoIterator<Item = (VarId, Value)>>(iter: I) -> Self {
+        CMem {
+            vals: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let m = CMem::new();
+        assert_eq!(m.get(VarId(3)), Value::Bool(false));
+    }
+
+    #[test]
+    fn updated_is_persistent() {
+        let m = CMem::new();
+        let m2 = m.updated(VarId(1), Value::Int(5));
+        assert_eq!(m.get(VarId(1)).as_int(), 0);
+        assert_eq!(m2.get(VarId(1)).as_int(), 5);
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Bool(true).as_int(), 1);
+        assert!(Value::Int(2).as_bool());
+        assert!(!Value::Int(0).as_bool());
+    }
+}

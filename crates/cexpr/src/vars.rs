@@ -1,0 +1,151 @@
+//! Variable identities and the variable registry.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identity of a classical program variable.
+///
+/// `VarId`s are allocated by a [`VarTable`]; they are cheap copyable handles
+/// used throughout expressions, symbolic phases and SMT encodings.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The role a classical variable plays in a QEC verification problem.
+///
+/// Roles drive quantifier/constraint placement in the final verification
+/// condition (e.g. error indicators are constrained by the error-weight bound,
+/// syndromes are measurement outcomes, corrections are decoder outputs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VarRole {
+    /// Error-injection indicator (`e_i` in the paper).
+    Error,
+    /// Propagated-error indicator from a previous cycle (`ep_i`).
+    Propagation,
+    /// Syndrome: outcome of a stabilizer measurement (`s_i`).
+    Syndrome,
+    /// Correction indicator produced by a decoder (`x_i` / `z_i`).
+    Correction,
+    /// Free parameter of the specification (e.g. the logical phase `b`).
+    Param,
+    /// Anything else (loop counters, scratch variables).
+    Aux,
+}
+
+/// A registry mapping variable names to [`VarId`]s, with per-variable roles.
+///
+/// # Examples
+///
+/// ```
+/// use veriqec_cexpr::{VarRole, VarTable};
+/// let mut vt = VarTable::new();
+/// let e1 = vt.fresh("e_1", VarRole::Error);
+/// assert_eq!(vt.lookup("e_1"), Some(e1));
+/// assert_eq!(vt.name(e1), "e_1");
+/// assert_eq!(vt.role(e1), VarRole::Error);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VarTable {
+    names: Vec<String>,
+    roles: Vec<VarRole>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl VarTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a new variable with the given name, or returns the existing
+    /// id if the name is already registered (the role is left unchanged in
+    /// that case).
+    pub fn fresh(&mut self, name: &str, role: VarRole) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.roles.push(role);
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Allocates a numbered family member, e.g. `fresh_indexed("e", 3)` ->
+    /// variable `e_3`.
+    pub fn fresh_indexed(&mut self, family: &str, index: usize, role: VarRole) -> VarId {
+        self.fresh(&format!("{family}_{index}"), role)
+    }
+
+    /// Looks up a variable by name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not allocated by this table.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// The role of a variable.
+    pub fn role(&self, id: VarId) -> VarRole {
+        self.roles[id.0 as usize]
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no variables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All variables with a given role.
+    pub fn with_role(&self, role: VarRole) -> Vec<VarId> {
+        (0..self.names.len() as u32)
+            .map(VarId)
+            .filter(|&v| self.role(v) == role)
+            .collect()
+    }
+
+    /// Iterates over all variable ids.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.names.len() as u32).map(VarId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_is_idempotent_per_name() {
+        let mut vt = VarTable::new();
+        let a = vt.fresh("x", VarRole::Aux);
+        let b = vt.fresh("x", VarRole::Aux);
+        assert_eq!(a, b);
+        assert_eq!(vt.len(), 1);
+    }
+
+    #[test]
+    fn roles_are_filterable() {
+        let mut vt = VarTable::new();
+        let e1 = vt.fresh_indexed("e", 1, VarRole::Error);
+        let e2 = vt.fresh_indexed("e", 2, VarRole::Error);
+        let s1 = vt.fresh_indexed("s", 1, VarRole::Syndrome);
+        assert_eq!(vt.with_role(VarRole::Error), vec![e1, e2]);
+        assert_eq!(vt.with_role(VarRole::Syndrome), vec![s1]);
+        assert_eq!(vt.name(e2), "e_2");
+    }
+}

@@ -1,0 +1,94 @@
+//! CSS code construction from classical parity-check matrices.
+
+use crate::{CodeValidationError, StabilizerCode};
+use veriqec_gf2::{BitMatrix, BitVec};
+use veriqec_pauli::{PauliString, StabilizerGroup, SymPauli};
+
+/// Builds the X-type generator with support `row`.
+pub fn x_type(row: &BitVec) -> SymPauli {
+    let n = row.len();
+    SymPauli::plain(PauliString::from_bits(row.clone(), BitVec::zeros(n), 0))
+}
+
+/// Builds the Z-type generator with support `row`.
+pub fn z_type(row: &BitVec) -> SymPauli {
+    let n = row.len();
+    SymPauli::plain(PauliString::from_bits(BitVec::zeros(n), row.clone(), 0))
+}
+
+/// Constructs a CSS code `CSS(Hx, Hz)` from classical parity-check matrices
+/// with `Hx · Hzᵀ = 0`, completing logical operators symplectically.
+///
+/// # Errors
+///
+/// Returns [`CodeValidationError`] when the orthogonality condition fails or
+/// the rows are dependent/ill-sized.
+pub fn css_code(
+    name: impl Into<String>,
+    hx: &BitMatrix,
+    hz: &BitMatrix,
+    claimed_distance: Option<usize>,
+) -> Result<StabilizerCode, CodeValidationError> {
+    let n = hx.num_cols();
+    if hz.num_cols() != n {
+        return Err(CodeValidationError {
+            message: "Hx and Hz have different column counts".into(),
+        });
+    }
+    // Orthogonality: every X row must overlap every Z row evenly.
+    for (i, xr) in hx.iter().enumerate() {
+        for (j, zr) in hz.iter().enumerate() {
+            if xr.dot(zr) {
+                return Err(CodeValidationError {
+                    message: format!("Hx row {i} and Hz row {j} overlap oddly"),
+                });
+            }
+        }
+    }
+    let gens: Vec<SymPauli> = hx
+        .iter()
+        .map(x_type)
+        .chain(hz.iter().map(z_type))
+        .collect();
+    let group = StabilizerGroup::new(gens).map_err(|e| CodeValidationError {
+        message: format!("invalid stabilizer group: {e}"),
+    })?;
+    let code = StabilizerCode::with_completed_logicals(name, group, claimed_distance);
+    code.validate()?;
+    Ok(code)
+}
+
+/// Constructs a *self-dual* CSS code (`Hx = Hz = h`), e.g. colour codes.
+///
+/// # Errors
+///
+/// As [`css_code`]; additionally every row must have even weight (a row must
+/// be orthogonal to itself).
+pub fn self_dual_css(
+    name: impl Into<String>,
+    h: &BitMatrix,
+    claimed_distance: Option<usize>,
+) -> Result<StabilizerCode, CodeValidationError> {
+    css_code(name, h, h, claimed_distance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn css_rejects_non_orthogonal() {
+        let hx = BitMatrix::parse(&["110"]);
+        let hz = BitMatrix::parse(&["100"]);
+        assert!(css_code("bad", &hx, &hz, None).is_err());
+    }
+
+    #[test]
+    fn four_two_two() {
+        let hx = BitMatrix::parse(&["1111"]);
+        let hz = BitMatrix::parse(&["1111"]);
+        let code = css_code("[[4,2,2]]", &hx, &hz, Some(2)).unwrap();
+        assert_eq!((code.n(), code.k()), (4, 2));
+        assert_eq!(code.brute_force_distance(4), Some(2));
+    }
+}

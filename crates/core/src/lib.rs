@@ -1,0 +1,44 @@
+//! **Veri-QEC (Rust reproduction)** — the automated QEC program verifier of
+//! *Efficient Formal Verification of Quantum Error Correcting Programs*
+//! (PLDI 2025).
+//!
+//! The pipeline: a [`scenario`] builder assembles the QEC program and its
+//! correctness formula (Def. 5.1); `veriqec_wp` runs the program logic
+//! backward to a normal-form precondition; `veriqec_vcgen` reduces the
+//! entailment to classical GF(2) equations (§5.1) and discharges them on the
+//! built-in CDCL solver with the minimum-weight decoder specification `P_f`;
+//! [`parallel`] splits the general task with the paper's `ET` enumeration
+//! heuristic; [`sampling`] provides the simulation/testing baseline of the
+//! §7.2 comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use veriqec::scenario::{memory_scenario, ErrorModel};
+//! use veriqec::tasks::verify_correction;
+//! use veriqec_codes::steane;
+//! use veriqec_sat::SolverConfig;
+//!
+//! // One round of error correction on the Steane code corrects any single
+//! // Y error (Eqn. 2 of the paper, memory case).
+//! let scenario = memory_scenario(&steane(), ErrorModel::YErrors);
+//! let report = verify_correction(&scenario, 1, SolverConfig::default());
+//! assert!(report.outcome.is_verified());
+//! ```
+
+pub mod parallel;
+pub mod sampling;
+pub mod scenario;
+pub mod tasks;
+
+pub use parallel::{check_parallel, ParallelConfig, ParallelReport};
+pub use scenario::{
+    cnot_propagation_scenario, correction_fault_scenario, ghz_scenario, logical_h_scenario,
+    memory_scenario, multi_cycle_scenario, nonpauli_scenario, ErrorModel, Scenario,
+    ScenarioBuilder,
+};
+pub use tasks::{
+    build_problem, discreteness_constraint, find_distance, locality_constraint,
+    verify_code_memory, verify_constrained, verify_correction, verify_detection,
+    verify_nonpauli_memory, DetectionOutcome, VerificationReport,
+};

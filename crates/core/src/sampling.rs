@@ -1,0 +1,177 @@
+//! The sampling/testing baseline (§7.2's Stim comparison).
+//!
+//! Stabilizer-simulation testing draws random error configurations and
+//! checks single executions; it is fast per sample but *incomplete* — the
+//! paper's point is that covering all configurations of a `d = 19` surface
+//! code under its constraints would need `19^18 ≈ 2^76` samples. This module
+//! reproduces both sides: a tableau-based sampler for cycle programs and the
+//! combinatorial sample-count formulas.
+
+use rand::prelude::*;
+
+use veriqec_cexpr::{CMem, Value};
+use veriqec_prog::{run_tableau, DecoderOracle};
+use veriqec_qsim::Tableau;
+
+use crate::scenario::Scenario;
+
+/// Outcome of a sampling campaign.
+#[derive(Clone, Debug)]
+pub struct SamplingReport {
+    /// Samples executed.
+    pub samples: usize,
+    /// Samples whose final state failed the postcondition.
+    pub failures: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Runs `samples` random-error executions of a (Clifford) scenario program on
+/// the tableau backend, checking that the post conjuncts stabilize the final
+/// state. Errors are drawn uniformly among configurations of weight
+/// `≤ max_errors`.
+///
+/// # Panics
+///
+/// Panics if the scenario program contains non-Clifford gates.
+pub fn sample_scenario<O: DecoderOracle, R: Rng>(
+    scenario: &Scenario,
+    max_errors: usize,
+    samples: usize,
+    oracle: &O,
+    rng: &mut R,
+) -> SamplingReport {
+    let start = std::time::Instant::now();
+    let mut failures = 0;
+    for _ in 0..samples {
+        // Random error pattern of weight <= max_errors.
+        let mut mem = CMem::new();
+        let weight = rng.gen_range(0..=max_errors);
+        let mut chosen: Vec<usize> = (0..scenario.error_vars.len()).collect();
+        chosen.shuffle(rng);
+        for &i in chosen.iter().take(weight) {
+            mem.set(scenario.error_vars[i], Value::Bool(true));
+        }
+        // Params b_i = 0 (the |0…0⟩_L family member).
+        // Prepare the codeword: stabilizer state of the LHS generating set.
+        let mut tab = prepare_stabilizer_state(scenario, rng);
+        let mut coin = || rng_coin(rng);
+        run_tableau(&scenario.program, &mut mem, &mut tab, oracle, &mut coin);
+        // Check: all post conjuncts (at params = 0, with measured syndrome
+        // values from mem) stabilize the final state.
+        let ok = scenario.post.conjuncts.iter().all(|c| {
+            let single = c.as_single().expect("Pauli-error scenarios");
+            let concrete = single.eval(&mem);
+            tab.is_stabilized_by(&concrete)
+        });
+        if !ok {
+            failures += 1;
+        }
+    }
+    SamplingReport {
+        samples,
+        failures,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn rng_coin<R: Rng>(rng: &mut R) -> bool {
+    rng.gen()
+}
+
+/// Prepares a stabilizer state of the scenario's LHS generating set (at
+/// parameter values 0) by measuring each generator and, on a −1 outcome,
+/// applying that generator's exact *destabilizer* — a Pauli anticommuting
+/// with it and commuting with every other LHS element, found by solving the
+/// symplectic system `⟨v, lhs_j⟩ = δ_ij` over GF(2).
+fn prepare_stabilizer_state<R: Rng>(scenario: &Scenario, rng: &mut R) -> Tableau {
+    use veriqec_gf2::{BitMatrix, BitVec};
+    let n = scenario.num_qubits;
+    let m = CMem::new(); // params default to 0
+    // Symplectic matrix with swapped halves: row_j · v = ⟨lhs_j, v⟩.
+    let swapped = BitMatrix::from_rows(
+        scenario
+            .lhs
+            .iter()
+            .map(|g| {
+                let row = g.pauli().symplectic_row();
+                let x = row.slice(0, n);
+                let z = row.slice(n, n);
+                z.concat(&x)
+            })
+            .collect(),
+    );
+    let destabilizers: Vec<veriqec_pauli::PauliString> = (0..scenario.lhs.len())
+        .map(|i| {
+            let mut rhs = BitVec::zeros(scenario.lhs.len());
+            rhs.set(i, true);
+            let v = swapped
+                .solve(&rhs)
+                .expect("full-rank symplectic system is solvable");
+            veriqec_pauli::PauliString::from_symplectic_row(&v)
+        })
+        .collect();
+    let mut tab = Tableau::zero_state(n);
+    for (g, destab) in scenario.lhs.iter().zip(&destabilizers) {
+        let target = g.eval(&m);
+        let outcome = tab.measure_pauli(&target, || rng.gen());
+        if outcome {
+            debug_assert!(destab.anticommutes_with(&target));
+            tab.apply_pauli(destab);
+        }
+    }
+    tab
+}
+
+/// `log2` of the number of error configurations of weight exactly ≤ `t` over
+/// `n` binary indicators — the sample count complete testing would need.
+pub fn log2_configurations(n: usize, t: usize) -> f64 {
+    // log2( Σ_{w=0..t} C(n, w) )
+    let mut total: f64 = 0.0;
+    for w in 0..=t {
+        total += binom_f64(n, w);
+    }
+    total.log2()
+}
+
+/// `log2` of the paper's §7.2 count `Σ_{i} C(n−1, i)·(n−1)^i ≈ n^{n−1}` for
+/// the `d = 19` constrained story.
+pub fn log2_constrained_configurations(segments: usize, seg_size: usize) -> f64 {
+    // Each of `segments` segments independently has (1 + seg_size) choices
+    // (no error, or one of seg_size positions).
+    (segments as f64) * ((1 + seg_size) as f64).log2()
+}
+
+fn binom_f64(n: usize, k: usize) -> f64 {
+    let mut r = 1f64;
+    for i in 0..k {
+        r *= (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{memory_scenario, ErrorModel};
+    use veriqec_codes::steane;
+    use veriqec_decoder::{decode_call_oracle, CssLookupDecoder};
+
+    #[test]
+    fn sampling_steane_never_fails_within_budget() {
+        let code = steane();
+        let scenario = memory_scenario(&code, ErrorModel::YErrors);
+        let decoder = CssLookupDecoder::for_code(&code, 1);
+        let oracle = decode_call_oracle(decoder, 7);
+        let mut rng = StdRng::seed_from_u64(11);
+        let report = sample_scenario(&scenario, 1, 200, &oracle, &mut rng);
+        assert_eq!(report.failures, 0, "single Y errors must always correct");
+    }
+
+    #[test]
+    fn sample_counts_match_paper_story() {
+        // d = 19 discreteness: 19 segments of 19 qubits — ~2^76 configs.
+        let bits = log2_constrained_configurations(18, 18);
+        assert!(bits > 70.0 && bits < 80.0, "{bits}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Fault-tolerant scenario verification (§7.3: Figs. 8–10) plus the
+//! non-Pauli case study (§5.2.2 / Appendix C).
+
+use veriqec::scenario::{
+    cnot_propagation_scenario, correction_fault_scenario, ghz_scenario, logical_h_scenario,
+    memory_scenario, multi_cycle_scenario, ErrorModel,
+};
+use veriqec::tasks::{verify_correction, verify_nonpauli_memory};
+use veriqec_codes::steane;
+use veriqec_pauli::Gate1;
+use veriqec_sat::SolverConfig;
+use veriqec_vcgen::{NonPauliOutcome, VcOutcome};
+
+#[test]
+fn steane_logical_h_one_cycle() {
+    // Eqn. 2: Σ(e_i + ep_i) ≤ 1 errors around a logical H are corrected.
+    let s = logical_h_scenario(&steane(), ErrorModel::YErrors);
+    let report = verify_correction(&s, 1, SolverConfig::default());
+    assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+    // And two errors break it.
+    let report2 = verify_correction(&s, 2, SolverConfig::default());
+    assert!(matches!(report2.outcome, VcOutcome::CounterExample(_)));
+}
+
+#[test]
+fn steane_multi_cycle_memory() {
+    // Two correction rounds tolerate one error per round.
+    let s = multi_cycle_scenario(&steane(), ErrorModel::YErrors, 2);
+    // Budget 1 across both rounds is certainly correctable.
+    let report = verify_correction(&s, 1, SolverConfig::default());
+    assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+}
+
+#[test]
+fn steane_faulty_corrections_cycle() {
+    // One fault among {data errors, correction faults}: the second clean
+    // round catches the faulted correction.
+    let s = correction_fault_scenario(&steane(), ErrorModel::YErrors);
+    let report = verify_correction(&s, 1, SolverConfig::default());
+    assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+}
+
+#[test]
+fn steane_cnot_with_propagated_errors() {
+    // Fig. 10: a single propagated error through transversal CNOT (fans out
+    // to both blocks) is still corrected by per-block rounds.
+    let s = cnot_propagation_scenario(&steane(), ErrorModel::YErrors);
+    let report = verify_correction(&s, 1, SolverConfig::default());
+    assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+}
+
+#[test]
+fn steane_ghz_preparation() {
+    // Fig. 9: logical GHZ preparation with one injected error per stage.
+    let s = ghz_scenario(&steane(), ErrorModel::YErrors);
+    let report = verify_correction(&s, 1, SolverConfig::default());
+    assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+}
+
+#[test]
+fn steane_x_and_z_error_models() {
+    for model in [ErrorModel::XErrors, ErrorModel::ZErrors, ErrorModel::Depolarizing] {
+        let s = memory_scenario(&steane(), model);
+        let report = verify_correction(&s, 1, SolverConfig::default());
+        assert!(
+            report.outcome.is_verified(),
+            "{model:?}: {:?}",
+            report.outcome
+        );
+    }
+}
+
+#[test]
+fn steane_t_error_all_positions() {
+    // §5.2.2: a single T error anywhere in the Steane code is corrected.
+    for q in 0..7 {
+        let out = verify_nonpauli_memory(&steane(), Gate1::T, q).expect("heuristic applies");
+        assert_eq!(out, NonPauliOutcome::Verified, "T error on qubit {q}");
+    }
+}
+
+#[test]
+fn steane_h_error_single_position() {
+    // Appendix C.2: an H error is corrected too.
+    for q in [0, 3, 6] {
+        let out = verify_nonpauli_memory(&steane(), Gate1::H, q).expect("heuristic applies");
+        assert_eq!(out, NonPauliOutcome::Verified, "H error on qubit {q}");
+    }
+}

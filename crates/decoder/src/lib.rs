@@ -1,0 +1,311 @@
+//! Decoders and decoder specifications for QEC verification.
+//!
+//! The paper treats the decoder as an uninterpreted function constrained by
+//! the *minimum-weight decoder condition* `P_f` (§5.2): corrections must
+//! reproduce the measured syndromes and weigh no more than the injected
+//! errors. This crate provides:
+//!
+//! * [`LookupDecoder`] — an exact minimum-weight decoder built by
+//!   breadth-first enumeration (used by simulation baselines and by the
+//!   fixed-error/non-Pauli pipeline);
+//! * [`MinWeightSpec`] — the `P_f` constraint emitter for the SMT layer;
+//! * [`decode_call_oracle`] — adapts lookup decoders to program
+//!   interpretation.
+//!
+//! # Examples
+//!
+//! ```
+//! use veriqec_codes::steane;
+//! use veriqec_decoder::LookupDecoder;
+//! use veriqec_pauli::PauliString;
+//!
+//! let code = steane();
+//! let dec = LookupDecoder::for_code(&code, 1);
+//! let err = PauliString::single(7, 'X', 2);
+//! let syndrome = code.group().syndrome_of(&err);
+//! let corr = dec.decode(&syndrome).expect("single errors decodable");
+//! // The correction cancels the error up to a stabilizer.
+//! let residue = corr.mul(&err);
+//! assert!(code.group().decompose(&residue).is_some());
+//! ```
+
+use std::collections::HashMap;
+
+use veriqec_cexpr::{VarId, VarRole, VarTable};
+use veriqec_codes::{enumerate_errors, StabilizerCode};
+use veriqec_gf2::BitVec;
+use veriqec_pauli::PauliString;
+use veriqec_smt::SmtContext;
+
+/// An exact minimum-weight decoder: maps syndromes to a minimum-weight
+/// correction, built by enumerating all errors up to a weight budget.
+#[derive(Clone, Debug)]
+pub struct LookupDecoder {
+    table: HashMap<BitVec, PauliString>,
+    num_qubits: usize,
+}
+
+impl LookupDecoder {
+    /// Builds the table for all errors of weight `<= max_weight`
+    /// (breadth-first, so each syndrome keeps its minimum-weight correction).
+    pub fn for_code(code: &StabilizerCode, max_weight: usize) -> Self {
+        let n = code.n();
+        let mut table = HashMap::new();
+        table.insert(
+            BitVec::zeros(code.generators().len()),
+            PauliString::identity(n),
+        );
+        for w in 1..=max_weight {
+            enumerate_errors(n, w, &mut |e| {
+                let s = code.group().syndrome_of(e);
+                table.entry(s).or_insert_with(|| e.clone());
+            });
+        }
+        LookupDecoder {
+            table,
+            num_qubits: n,
+        }
+    }
+
+    /// Decodes a syndrome; `None` when outside the covered radius.
+    pub fn decode(&self, syndrome: &BitVec) -> Option<PauliString> {
+        self.table.get(syndrome).cloned()
+    }
+
+    /// Number of distinct syndromes covered.
+    pub fn coverage(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+}
+
+/// A CSS-sector lookup decoder pair: `decode_x` consumes Z-check syndromes
+/// and emits X-side corrections of X errors; `decode_z` the dual. Matches the
+/// decoder calls `f_x`, `f_z` of the paper's Steane program (Table 1).
+#[derive(Clone, Debug)]
+pub struct CssLookupDecoder {
+    /// Corrections for X errors (indexed by Z-check syndromes).
+    pub x_corrections: HashMap<BitVec, BitVec>,
+    /// Corrections for Z errors (indexed by X-check syndromes).
+    pub z_corrections: HashMap<BitVec, BitVec>,
+}
+
+impl CssLookupDecoder {
+    /// Builds both sector tables by enumerating single-sector errors up to
+    /// `max_weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the code is not CSS.
+    pub fn for_code(code: &StabilizerCode, max_weight: usize) -> Self {
+        let hx = code.css_hx().expect("CSS code required");
+        let hz = code.css_hz().expect("CSS code required");
+        let n = code.n();
+        let build = |checks: &veriqec_gf2::BitMatrix| {
+            let mut table: HashMap<BitVec, BitVec> = HashMap::new();
+            table.insert(BitVec::zeros(checks.num_rows()), BitVec::zeros(n));
+            // BFS over supports by weight.
+            let mut supports: Vec<BitVec> = vec![BitVec::zeros(n)];
+            for _w in 1..=max_weight {
+                let mut next = Vec::new();
+                for s in &supports {
+                    let start = s.iter_ones().last().map_or(0, |i| i + 1);
+                    for q in start..n {
+                        let mut e = s.clone();
+                        e.set(q, true);
+                        let syn = checks.mul_vec(&e);
+                        table.entry(syn).or_insert_with(|| e.clone());
+                        next.push(e);
+                    }
+                }
+                supports = next;
+            }
+            table
+        };
+        CssLookupDecoder {
+            // X errors are detected by Z checks (hz), corrected on the X side.
+            x_corrections: build(&hz),
+            z_corrections: build(&hx),
+        }
+    }
+}
+
+/// Adapts CSS lookup decoders to the interpreter's
+/// [`DecoderOracle`](veriqec_prog::DecoderOracle) interface: decoder names
+/// `decode_x` (inputs = Z-check syndromes, outputs = X corrections) and
+/// `decode_z` (inputs = X-check syndromes, outputs = Z corrections).
+pub fn decode_call_oracle(
+    decoder: CssLookupDecoder,
+    num_qubits: usize,
+) -> impl Fn(&str, &[bool]) -> Vec<bool> {
+    move |name: &str, inputs: &[bool]| -> Vec<bool> {
+        let syndrome = BitVec::from_bools(inputs.iter().copied());
+        let table = match name {
+            "decode_x" => &decoder.x_corrections,
+            "decode_z" => &decoder.z_corrections,
+            other => panic!("unknown decoder `{other}`"),
+        };
+        let correction = table
+            .get(&syndrome)
+            .cloned()
+            .unwrap_or_else(|| BitVec::zeros(num_qubits));
+        correction.to_bools()
+    }
+}
+
+/// The minimum-weight decoder specification `P_f` (§5.2): given syndrome,
+/// correction and error variables, asserts into an [`SmtContext`]
+///
+/// 1. *syndrome consistency*: the correction reproduces each measured
+///    syndrome, `r_i(c) = s_i`;
+/// 2. *minimality*: `Σ c ≤ Σ e`.
+///
+/// This is the necessary condition of any minimum-weight decoder; the
+/// verification condition quantifies over all decoders satisfying it.
+#[derive(Clone, Debug)]
+pub struct MinWeightSpec {
+    /// Check supports: row `i` lists which correction bits flip syndrome `i`.
+    pub checks: Vec<Vec<VarId>>,
+    /// The syndrome variable of each check.
+    pub syndromes: Vec<VarId>,
+    /// Correction variables.
+    pub corrections: Vec<VarId>,
+    /// Error variables bounding the correction weight.
+    pub errors: Vec<VarId>,
+}
+
+impl MinWeightSpec {
+    /// Asserts the `P_f` constraints.
+    pub fn assert_into(&self, ctx: &mut SmtContext) {
+        for (support, &s) in self.checks.iter().zip(&self.syndromes) {
+            let mut aff = veriqec_cexpr::Affine::var(s);
+            for &c in support {
+                aff.xor_var(c);
+            }
+            ctx.assert_affine_eq(&aff, false);
+        }
+        let c_lits: Vec<_> = self.corrections.iter().map(|&v| ctx.lit_of(v)).collect();
+        let e_lits: Vec<_> = self.errors.iter().map(|&v| ctx.lit_of(v)).collect();
+        ctx.assert_sum_le_sum(&c_lits, &e_lits, 0);
+    }
+
+    /// Builds the spec for one CSS sector of a code.
+    ///
+    /// `checks` are the parity-check rows detecting the relevant error type;
+    /// fresh correction variables named `prefix_i` are allocated in `vt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome count does not match the check rows.
+    pub fn css_sector(
+        checks: &veriqec_gf2::BitMatrix,
+        syndromes: &[VarId],
+        errors: &[VarId],
+        prefix: &str,
+        vt: &mut VarTable,
+    ) -> Self {
+        assert_eq!(checks.num_rows(), syndromes.len(), "syndrome count");
+        let n = checks.num_cols();
+        let corrections: Vec<VarId> = (0..n)
+            .map(|i| vt.fresh_indexed(prefix, i, VarRole::Correction))
+            .collect();
+        let check_vars: Vec<Vec<VarId>> = checks
+            .iter()
+            .map(|row| row.iter_ones().map(|q| corrections[q]).collect())
+            .collect();
+        MinWeightSpec {
+            checks: check_vars,
+            syndromes: syndromes.to_vec(),
+            corrections,
+            errors: errors.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veriqec_codes::{rotated_surface, steane};
+
+    #[test]
+    fn steane_lookup_corrects_all_single_errors() {
+        let code = steane();
+        let dec = LookupDecoder::for_code(&code, 1);
+        // 1 trivial + up to 21 single-error syndromes.
+        assert_eq!(dec.coverage(), 1 + 21);
+        enumerate_errors(7, 1, &mut |e| {
+            let s = code.group().syndrome_of(e);
+            let c = dec.decode(&s).expect("covered");
+            let residue = c.mul(e);
+            assert!(
+                code.group().decompose(&residue).is_some(),
+                "residue {residue} of error {e} is not a stabilizer"
+            );
+        });
+    }
+
+    #[test]
+    fn css_decoder_sector_tables() {
+        let code = steane();
+        let dec = CssLookupDecoder::for_code(&code, 1);
+        // 3 Z checks → up to 8 syndromes; 7 single-X errors + trivial = 8.
+        assert_eq!(dec.x_corrections.len(), 8);
+        assert_eq!(dec.z_corrections.len(), 8);
+    }
+
+    #[test]
+    fn surface_d3_lookup_weight_1() {
+        let code = rotated_surface(3);
+        let dec = LookupDecoder::for_code(&code, 1);
+        enumerate_errors(9, 1, &mut |e| {
+            let s = code.group().syndrome_of(e);
+            let c = dec.decode(&s).expect("single errors covered");
+            let residue = c.mul(e);
+            assert!(code.group().decompose(&residue).is_some());
+        });
+    }
+
+    #[test]
+    fn oracle_interface_roundtrip() {
+        let code = steane();
+        let dec = CssLookupDecoder::for_code(&code, 1);
+        let oracle = decode_call_oracle(dec, 7);
+        // X error on qubit 3 (0-based): Z checks have supports
+        // {0,2,4,6},{1,2,5,6},{3,4,5,6}: syndrome = (0,0,1).
+        let out = oracle("decode_x", &[false, false, true]);
+        assert_eq!(out.len(), 7);
+        let ones: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        assert_eq!(ones, vec![3]);
+    }
+
+    #[test]
+    fn min_weight_spec_unsat_on_overweight_corrections() {
+        use veriqec_cexpr::BExp;
+        let code = steane();
+        let hz = code.css_hz().unwrap();
+        let mut vt = VarTable::new();
+        let syndromes: Vec<VarId> = (0..3)
+            .map(|i| vt.fresh_indexed("s", i, VarRole::Syndrome))
+            .collect();
+        let errors: Vec<VarId> = (0..7)
+            .map(|i| vt.fresh_indexed("e", i, VarRole::Error))
+            .collect();
+        let spec = MinWeightSpec::css_sector(&hz, &syndromes, &errors, "cx", &mut vt);
+        let mut ctx = SmtContext::new();
+        spec.assert_into(&mut ctx);
+        // Single error budget but demand 2 corrections: unsat.
+        ctx.assert(&BExp::weight_le(errors.iter().copied(), 1))
+            .unwrap();
+        let c_lits: Vec<_> = spec.corrections.iter().map(|&v| ctx.lit_of(v)).collect();
+        ctx.assert_at_least(&c_lits, 2);
+        assert!(ctx.check(&[]).is_unsat());
+    }
+}

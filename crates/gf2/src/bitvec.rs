@@ -1,0 +1,333 @@
+//! Bit-packed vectors over GF(2).
+
+use std::fmt;
+
+const BITS: usize = 64;
+
+/// A fixed-length vector over GF(2), packed into 64-bit blocks.
+///
+/// `BitVec` is the workhorse of the symplectic Pauli representation and of
+/// all parity-check-matrix manipulation in this workspace.
+///
+/// # Examples
+///
+/// ```
+/// use veriqec_gf2::BitVec;
+/// let mut v = BitVec::zeros(70);
+/// v.set(3, true);
+/// v.set(69, true);
+/// assert_eq!(v.weight(), 2);
+/// assert!(v.get(3) && v.get(69) && !v.get(4));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitVec {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            blocks: vec![0; len.div_ceil(BITS)],
+            len,
+        }
+    }
+
+    /// Creates a vector from an iterator of booleans.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut v = BitVec::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            v.set(i, *b);
+        }
+        v
+    }
+
+    /// Creates a vector of length `len` with exactly the listed positions set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len`.
+    pub fn from_ones(len: usize, ones: &[usize]) -> Self {
+        let mut v = BitVec::zeros(len);
+        for &i in ones {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Parses a string of `'0'`/`'1'` characters (other characters are ignored
+    /// separators, so `"101 10"` is accepted).
+    pub fn parse(s: &str) -> Self {
+        BitVec::from_bools(s.chars().filter_map(|c| match c {
+            '0' => Some(false),
+            '1' => Some(true),
+            _ => None,
+        }))
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.blocks[i / BITS] >> (i % BITS)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % BITS);
+        if value {
+            self.blocks[i / BITS] |= mask;
+        } else {
+            self.blocks[i / BITS] &= !mask;
+        }
+    }
+
+    /// Flips bit `i` and returns its new value.
+    pub fn flip(&mut self, i: usize) -> bool {
+        let v = !self.get(i);
+        self.set(i, v);
+        v
+    }
+
+    /// In-place XOR with another vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in xor_assign");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a ^= b;
+        }
+    }
+
+    /// Returns `self XOR other`.
+    pub fn xored(&self, other: &BitVec) -> BitVec {
+        let mut r = self.clone();
+        r.xor_assign(other);
+        r
+    }
+
+    /// Returns `self AND other`.
+    pub fn anded(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "length mismatch in anded");
+        let mut r = self.clone();
+        for (a, b) in r.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+        r
+    }
+
+    /// Returns `self OR other`.
+    pub fn ored(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "length mismatch in ored");
+        let mut r = self.clone();
+        for (a, b) in r.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+        r
+    }
+
+    /// Hamming weight (number of set bits).
+    pub fn weight(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Inner product over GF(2): parity of the AND of the two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch in dot");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .fold(0u32, |acc, (a, b)| acc ^ (a & b).count_ones())
+            & 1
+            == 1
+    }
+
+    /// Iterator over the indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            vec: self,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        self.iter_ones().next()
+    }
+
+    /// Concatenates two vectors.
+    pub fn concat(&self, other: &BitVec) -> BitVec {
+        let mut r = BitVec::zeros(self.len + other.len);
+        for i in self.iter_ones() {
+            r.set(i, true);
+        }
+        for i in other.iter_ones() {
+            r.set(self.len + i, true);
+        }
+        r
+    }
+
+    /// Extracts bits `[start, start+len)` as a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the vector length.
+    pub fn slice(&self, start: usize, len: usize) -> BitVec {
+        assert!(start + len <= self.len, "slice out of range");
+        let mut r = BitVec::zeros(len);
+        for i in 0..len {
+            if self.get(start + i) {
+                r.set(i, true);
+            }
+        }
+        r
+    }
+
+    /// Collects into a `Vec<bool>`.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec({self})")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitVec::from_bools(iter)
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitVec`]. Produced by [`BitVec::iter_ones`].
+pub struct IterOnes<'a> {
+    vec: &'a BitVec,
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.block_idx * BITS + tz;
+                if idx < self.vec.len {
+                    return Some(idx);
+                }
+                return None;
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.vec.blocks.len() {
+                return None;
+            }
+            self.current = self.vec.blocks[self.block_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            v.set(i, true);
+            assert!(v.get(i), "bit {i}");
+        }
+        assert_eq!(v.weight(), 8);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.weight(), 7);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let v = BitVec::parse("1010 0111");
+        assert_eq!(v.to_string(), "10100111");
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.weight(), 5);
+    }
+
+    #[test]
+    fn xor_and_dot() {
+        let a = BitVec::parse("1100");
+        let b = BitVec::parse("1010");
+        assert_eq!(a.xored(&b).to_string(), "0110");
+        assert!(a.dot(&b)); // overlap in position 0 only -> parity 1
+        let c = BitVec::parse("0011");
+        assert!(!a.dot(&c));
+    }
+
+    #[test]
+    fn iter_ones_crosses_blocks() {
+        let v = BitVec::from_ones(200, &[0, 63, 64, 150, 199]);
+        let ones: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(ones, vec![0, 63, 64, 150, 199]);
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let a = BitVec::parse("101");
+        let b = BitVec::parse("01");
+        let c = a.concat(&b);
+        assert_eq!(c.to_string(), "10101");
+        assert_eq!(c.slice(1, 3).to_string(), "010");
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let mut v = BitVec::zeros(5);
+        assert!(v.flip(2));
+        assert!(!v.flip(2));
+        assert!(v.is_zero());
+    }
+}

@@ -1,0 +1,364 @@
+//! Dense GF(2) matrices with row-reduction, solving and nullspace computation.
+
+use crate::BitVec;
+use std::fmt;
+
+/// A dense matrix over GF(2), stored as a list of bit-packed rows.
+///
+/// Used for parity-check matrices, symplectic check matrices and the
+/// generator-decomposition step of the verification-condition reduction
+/// (case 2 of §5.1 in the paper).
+///
+/// # Examples
+///
+/// ```
+/// use veriqec_gf2::BitMatrix;
+/// // The parity-check matrix of the [7,4,3] Hamming code.
+/// let h = BitMatrix::parse(&[
+///     "1010101",
+///     "0110011",
+///     "0001111",
+/// ]);
+/// assert_eq!(h.rank(), 3);
+/// assert_eq!(h.nullspace().len(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: Vec<BitVec>,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix of shape `rows x cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        BitMatrix {
+            rows: vec![BitVec::zeros(cols); rows],
+            cols,
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: Vec<BitVec>) -> Self {
+        let cols = rows.first().map_or(0, BitVec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "rows must have equal length"
+        );
+        BitMatrix { rows, cols }
+    }
+
+    /// Parses rows of `'0'`/`'1'` strings (whitespace ignored).
+    pub fn parse(rows: &[&str]) -> Self {
+        BitMatrix::from_rows(rows.iter().map(|s| BitVec::parse(s)).collect())
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        self.rows[r].get(c)
+    }
+
+    /// Writes entry `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        self.rows[r].set(c, v);
+    }
+
+    /// Borrows row `r`.
+    pub fn row(&self, r: usize) -> &BitVec {
+        &self.rows[r]
+    }
+
+    /// Iterates over the rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, BitVec> {
+        self.rows.iter()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from `num_cols` (unless the matrix is empty).
+    pub fn push_row(&mut self, row: BitVec) {
+        if self.rows.is_empty() && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        self.rows.push(row);
+    }
+
+    /// XORs row `src` into row `dst`.
+    pub fn xor_row_into(&mut self, src: usize, dst: usize) {
+        assert_ne!(src, dst, "cannot xor a row into itself");
+        let (a, b) = if src < dst {
+            let (lo, hi) = self.rows.split_at_mut(dst);
+            (&lo[src], &mut hi[0])
+        } else {
+            let (lo, hi) = self.rows.split_at_mut(src);
+            (&hi[0], &mut lo[dst])
+        };
+        b.xor_assign(a);
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::zeros(self.cols, self.rows.len());
+        for (r, row) in self.rows.iter().enumerate() {
+            for c in row.iter_ones() {
+                t.set(c, r, true);
+            }
+        }
+        t
+    }
+
+    /// Matrix-vector product over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != num_cols`.
+    pub fn mul_vec(&self, v: &BitVec) -> BitVec {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
+        BitVec::from_bools(self.rows.iter().map(|r| r.dot(v)))
+    }
+
+    /// Matrix-matrix product over GF(2).
+    pub fn mul(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, other.rows.len(), "dimension mismatch in mul");
+        let ot = other.transpose();
+        let mut out = BitMatrix::zeros(self.rows.len(), other.cols);
+        for (i, row) in self.rows.iter().enumerate() {
+            for (j, col) in ot.rows.iter().enumerate() {
+                if row.dot(col) {
+                    out.set(i, j, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// In-place reduction to *reduced row echelon form*.
+    ///
+    /// Returns the pivot columns, one per nonzero row of the result; rows are
+    /// permuted so that row `i` has its pivot at `pivots[i]` and zero rows sink
+    /// to the bottom.
+    pub fn rref(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut next_row = 0;
+        for col in 0..self.cols {
+            let Some(pivot_row) = (next_row..self.rows.len()).find(|&r| self.rows[r].get(col))
+            else {
+                continue;
+            };
+            self.rows.swap(next_row, pivot_row);
+            for r in 0..self.rows.len() {
+                if r != next_row && self.rows[r].get(col) {
+                    self.xor_row_into(next_row, r);
+                }
+            }
+            pivots.push(col);
+            next_row += 1;
+            if next_row == self.rows.len() {
+                break;
+            }
+        }
+        pivots
+    }
+
+    /// Rank of the matrix.
+    pub fn rank(&self) -> usize {
+        self.clone().rref().len()
+    }
+
+    /// Solves `self * x = b`, returning one solution if the system is consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != num_rows`.
+    pub fn solve(&self, b: &BitVec) -> Option<BitVec> {
+        assert_eq!(b.len(), self.rows.len(), "dimension mismatch in solve");
+        // Row-reduce the augmented matrix [A | b].
+        let mut aug = BitMatrix::from_rows(
+            self.rows
+                .iter()
+                .zip(b.to_bools())
+                .map(|(row, bi)| row.concat(&BitVec::from_bools([bi])))
+                .collect(),
+        );
+        let pivots = aug.rref();
+        // Inconsistent iff a pivot lands in the augmented column.
+        if pivots.last() == Some(&self.cols) {
+            return None;
+        }
+        let mut x = BitVec::zeros(self.cols);
+        for (i, &p) in pivots.iter().enumerate() {
+            if aug.rows[i].get(self.cols) {
+                x.set(p, true);
+            }
+        }
+        Some(x)
+    }
+
+    /// A basis of the (right) nullspace: all `v` with `self * v = 0`.
+    pub fn nullspace(&self) -> Vec<BitVec> {
+        let mut m = self.clone();
+        let pivots = m.rref();
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        let mut basis = Vec::new();
+        for free in (0..self.cols).filter(|c| !pivot_set.contains(c)) {
+            let mut v = BitVec::zeros(self.cols);
+            v.set(free, true);
+            for (i, &p) in pivots.iter().enumerate() {
+                if m.rows[i].get(free) {
+                    v.set(p, true);
+                }
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// Horizontally concatenates `self | other`.
+    pub fn hstack(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.rows.len(), other.rows.len(), "row count mismatch");
+        BitMatrix::from_rows(
+            self.rows
+                .iter()
+                .zip(&other.rows)
+                .map(|(a, b)| a.concat(b))
+                .collect(),
+        )
+    }
+
+    /// Vertically stacks `self` on top of `other`.
+    pub fn vstack(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, other.cols, "column count mismatch");
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        BitMatrix::from_rows(rows)
+    }
+
+    /// True if `v` lies in the row space.
+    pub fn row_space_contains(&self, v: &BitVec) -> bool {
+        self.transpose().solve(v).is_some()
+    }
+
+    /// Expresses `v` as a combination of the rows: returns `c` with
+    /// `c * self = v` (as a row-selector vector), if one exists.
+    pub fn express_in_rows(&self, v: &BitVec) -> Option<BitVec> {
+        self.transpose().solve(v)
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows.len(), self.cols)?;
+        for r in &self.rows {
+            writeln!(f, "  {r}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rref_identity_is_fixed_point() {
+        let mut m = BitMatrix::identity(4);
+        let pivots = m.rref();
+        assert_eq!(pivots, vec![0, 1, 2, 3]);
+        assert_eq!(m, BitMatrix::identity(4));
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        let m = BitMatrix::parse(&["110", "011", "101"]); // row3 = row1 + row2
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn solve_consistent_system() {
+        let m = BitMatrix::parse(&["110", "011"]);
+        let b = BitVec::parse("11");
+        let x = m.solve(&b).expect("consistent");
+        assert_eq!(m.mul_vec(&x), b);
+    }
+
+    #[test]
+    fn solve_inconsistent_system() {
+        let m = BitMatrix::parse(&["110", "110"]);
+        let b = BitVec::parse("10");
+        assert!(m.solve(&b).is_none());
+    }
+
+    #[test]
+    fn nullspace_vectors_annihilate() {
+        let m = BitMatrix::parse(&["1010101", "0110011", "0001111"]);
+        let ns = m.nullspace();
+        assert_eq!(ns.len(), 4);
+        for v in &ns {
+            assert!(m.mul_vec(v).is_zero());
+        }
+        // Basis is independent.
+        assert_eq!(BitMatrix::from_rows(ns).rank(), 4);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = BitMatrix::parse(&["101", "010"]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn mul_against_identity() {
+        let m = BitMatrix::parse(&["101", "110"]);
+        assert_eq!(m.mul(&BitMatrix::identity(3)), m);
+    }
+
+    #[test]
+    fn express_in_rows_finds_combination() {
+        let m = BitMatrix::parse(&["1100", "0110", "0011"]);
+        let v = BitVec::parse("1010"); // rows 0 + 1
+        let c = m.express_in_rows(&v).expect("in row space");
+        let mut acc = BitVec::zeros(4);
+        for i in c.iter_ones() {
+            acc.xor_assign(m.row(i));
+        }
+        assert_eq!(acc, v);
+        assert!(m.express_in_rows(&BitVec::parse("1000")).is_none());
+    }
+}

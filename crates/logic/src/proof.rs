@@ -1,0 +1,366 @@
+//! The Hilbert-style proof system for the assertion logic (Fig. 11 /
+//! Appendix A.4), mechanized as checkable derivation trees.
+//!
+//! Each rule application is verified *structurally* (the conclusion must
+//! have the right shape relative to the premises); the commutativity side
+//! condition of rule 11 is checked semantically. A checked [`Derivation`]
+//! therefore witnesses an entailment `Γ ⊢ A` that is sound for the subspace
+//! semantics — the same guarantee the paper's Coq formalization gives for
+//! its assertion-logic laws, here in executable form.
+
+use std::fmt;
+
+use veriqec_cexpr::{CMem, Value, VarId};
+
+use crate::Assertion;
+
+/// A sequent `Γ ⊢ A` of the assertion logic.
+#[derive(Clone, Debug)]
+pub struct Sequent {
+    /// The antecedent Γ.
+    pub gamma: Assertion,
+    /// The consequent A.
+    pub a: Assertion,
+}
+
+impl fmt::Display for Sequent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ⊢ {}", self.gamma, self.a)
+    }
+}
+
+/// A derivation tree in the Fig. 11 proof system.
+///
+/// Numbering follows the figure: e.g. rule 1 is `¬¬A ⊢ A`, rule 5 is
+/// ∧-introduction, rule 11 is the compatible import rule with the
+/// commutation side condition.
+#[derive(Clone, Debug)]
+pub enum Derivation {
+    /// Rule 1: `¬¬A ⊢ A`.
+    DoubleNegation {
+        /// The `A` in the conclusion.
+        a: Assertion,
+    },
+    /// Rule 2: `A ⊢ A`.
+    Identity {
+        /// The assertion on both sides.
+        a: Assertion,
+    },
+    /// Rule 3: `A ⊢ ⊤`.
+    Top {
+        /// The antecedent.
+        a: Assertion,
+    },
+    /// Rule 4: `⊥ ⊢ A`.
+    Bottom {
+        /// The consequent.
+        a: Assertion,
+    },
+    /// Rule 5: from `Γ ⊢ A` and `Γ ⊢ B` conclude `Γ ⊢ A ∧ B`.
+    AndIntro(Box<Derivation>, Box<Derivation>),
+    /// Rule 6: from `Γ ⊢ A₁ ∧ A₂` conclude `Γ ⊢ A_i` (`i` = 0 or 1).
+    AndElim {
+        /// The premise derivation.
+        premise: Box<Derivation>,
+        /// Which conjunct to keep (0 = left).
+        index: usize,
+    },
+    /// Rule 7: from `A ⊢ B` conclude `Γ ∧ A ⊢ B`.
+    Weaken {
+        /// The premise derivation (`A ⊢ B`).
+        premise: Box<Derivation>,
+        /// The added antecedent Γ.
+        gamma: Assertion,
+    },
+    /// Rule 8: from `Γ ⊢ A` and `Γ′ ⊢ A` conclude `Γ ∨ Γ′ ⊢ A`.
+    OrElim(Box<Derivation>, Box<Derivation>),
+    /// Rule 9: from `Γ ⊢ A_i` conclude `Γ ⊢ A₁ ∨ A₂`.
+    OrIntro {
+        /// The premise derivation.
+        premise: Box<Derivation>,
+        /// The other disjunct.
+        other: Assertion,
+        /// True when the premise proves the *left* disjunct.
+        premise_is_left: bool,
+    },
+    /// Rule 10 (modus ponens): from `A ⊢ B ⇒ C` and `A ⊢ B` conclude `A ⊢ C`.
+    ModusPonens(Box<Derivation>, Box<Derivation>),
+    /// Rule 11: from `A ∧ B ⊢ C` and the side condition `A C B` (compatible
+    /// subspaces) conclude `A ⊢ B ⇒ C`.
+    ImpIntro {
+        /// The premise derivation (`A ∧ B ⊢ C`).
+        premise: Box<Derivation>,
+    },
+}
+
+/// Error from [`Derivation::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofError {
+    /// Which rule application failed and why.
+    pub message: String,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid derivation: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+fn same(a: &Assertion, b: &Assertion) -> bool {
+    // Syntactic equality of assertion trees.
+    a == b
+}
+
+impl Derivation {
+    /// Checks the derivation and returns the concluded sequent.
+    ///
+    /// `vars`/`num_qubits` scope the semantic commutativity check of rule 11.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProofError`] naming the first ill-formed rule application.
+    pub fn check(&self, vars: &[VarId], num_qubits: usize) -> Result<Sequent, ProofError> {
+        match self {
+            Derivation::DoubleNegation { a } => Ok(Sequent {
+                gamma: Assertion::not(Assertion::not(a.clone())),
+                a: a.clone(),
+            }),
+            Derivation::Identity { a } => Ok(Sequent {
+                gamma: a.clone(),
+                a: a.clone(),
+            }),
+            Derivation::Top { a } => Ok(Sequent {
+                gamma: a.clone(),
+                a: Assertion::top(),
+            }),
+            Derivation::Bottom { a } => Ok(Sequent {
+                gamma: Assertion::bottom(),
+                a: a.clone(),
+            }),
+            Derivation::AndIntro(l, r) => {
+                let sl = l.check(vars, num_qubits)?;
+                let sr = r.check(vars, num_qubits)?;
+                if !same(&sl.gamma, &sr.gamma) {
+                    return Err(ProofError {
+                        message: "∧-intro premises have different antecedents".into(),
+                    });
+                }
+                Ok(Sequent {
+                    gamma: sl.gamma,
+                    a: Assertion::and(sl.a, sr.a),
+                })
+            }
+            Derivation::AndElim { premise, index } => {
+                let s = premise.check(vars, num_qubits)?;
+                let Assertion::And(l, r) = &s.a else {
+                    return Err(ProofError {
+                        message: "∧-elim premise is not a conjunction".into(),
+                    });
+                };
+                let kept = if *index == 0 { l } else { r };
+                Ok(Sequent {
+                    gamma: s.gamma,
+                    a: kept.as_ref().clone(),
+                })
+            }
+            Derivation::Weaken { premise, gamma } => {
+                let s = premise.check(vars, num_qubits)?;
+                Ok(Sequent {
+                    gamma: Assertion::and(gamma.clone(), s.gamma),
+                    a: s.a,
+                })
+            }
+            Derivation::OrElim(l, r) => {
+                let sl = l.check(vars, num_qubits)?;
+                let sr = r.check(vars, num_qubits)?;
+                if !same(&sl.a, &sr.a) {
+                    return Err(ProofError {
+                        message: "∨-elim premises prove different consequents".into(),
+                    });
+                }
+                Ok(Sequent {
+                    gamma: Assertion::or(sl.gamma, sr.gamma),
+                    a: sl.a,
+                })
+            }
+            Derivation::OrIntro {
+                premise,
+                other,
+                premise_is_left,
+            } => {
+                let s = premise.check(vars, num_qubits)?;
+                let a = if *premise_is_left {
+                    Assertion::or(s.a, other.clone())
+                } else {
+                    Assertion::or(other.clone(), s.a)
+                };
+                Ok(Sequent { gamma: s.gamma, a })
+            }
+            Derivation::ModusPonens(imp, arg) => {
+                let si = imp.check(vars, num_qubits)?;
+                let sa = arg.check(vars, num_qubits)?;
+                if !same(&si.gamma, &sa.gamma) {
+                    return Err(ProofError {
+                        message: "modus ponens premises have different antecedents".into(),
+                    });
+                }
+                let Assertion::Implies(b, c) = &si.a else {
+                    return Err(ProofError {
+                        message: "modus ponens major premise is not an implication".into(),
+                    });
+                };
+                if !same(b, &sa.a) {
+                    return Err(ProofError {
+                        message: "modus ponens minor premise mismatch".into(),
+                    });
+                }
+                Ok(Sequent {
+                    gamma: si.gamma,
+                    a: c.as_ref().clone(),
+                })
+            }
+            Derivation::ImpIntro { premise } => {
+                let s = premise.check(vars, num_qubits)?;
+                let Assertion::And(a, b) = &s.gamma else {
+                    return Err(ProofError {
+                        message: "⇒-intro premise antecedent is not a conjunction".into(),
+                    });
+                };
+                // Side condition: A C B, checked semantically over all
+                // classical assignments.
+                let k = vars.len();
+                assert!(k <= 16, "too many classical variables");
+                for bits in 0u32..1 << k {
+                    let mut m = CMem::new();
+                    for (i, &v) in vars.iter().enumerate() {
+                        m.set(v, Value::Bool((bits >> i) & 1 == 1));
+                    }
+                    let sa = a.denote(&m, num_qubits);
+                    let sb = b.denote(&m, num_qubits);
+                    if !sa.commutes_with(&sb) {
+                        return Err(ProofError {
+                            message: "rule 11 side condition: antecedents do not commute".into(),
+                        });
+                    }
+                }
+                Ok(Sequent {
+                    gamma: a.as_ref().clone(),
+                    a: Assertion::implies(b.as_ref().clone(), s.a.clone()),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entails;
+    use veriqec_pauli::{PauliString, SymPauli};
+
+    fn atom(s: &str) -> Assertion {
+        Assertion::pauli(SymPauli::plain(PauliString::from_letters(s).unwrap()))
+    }
+
+    /// Every checked derivation must be semantically sound.
+    fn assert_sound(d: &Derivation, num_qubits: usize) {
+        let s = d.check(&[], num_qubits).expect("well-formed");
+        assert!(
+            entails(&s.gamma, &s.a, &[], num_qubits),
+            "unsound sequent {s}"
+        );
+    }
+
+    #[test]
+    fn basic_rules_are_sound() {
+        assert_sound(&Derivation::Identity { a: atom("XX") }, 2);
+        assert_sound(&Derivation::DoubleNegation { a: atom("ZZ") }, 2);
+        assert_sound(&Derivation::Top { a: atom("XI") }, 2);
+        assert_sound(&Derivation::Bottom { a: atom("IZ") }, 2);
+    }
+
+    #[test]
+    fn and_intro_elim_roundtrip() {
+        // XX∧ZZ ⊢ XX∧ZZ, project left, re-pair with the right.
+        let id = Derivation::Identity {
+            a: Assertion::and(atom("XX"), atom("ZZ")),
+        };
+        let left = Derivation::AndElim {
+            premise: Box::new(id.clone()),
+            index: 0,
+        };
+        let right = Derivation::AndElim {
+            premise: Box::new(id),
+            index: 1,
+        };
+        let paired = Derivation::AndIntro(Box::new(left), Box::new(right));
+        assert_sound(&paired, 2);
+    }
+
+    #[test]
+    fn modus_ponens_with_sasaki() {
+        // A = ZI ∧ ZZ; derive A ⊢ ZZ ⇒ (ZI ∧ ZZ) via rule 11, then apply it.
+        // Premise of rule 11: (ZI ∧ ZZ) ⊢ ZI∧ZZ with antecedent shaped A∧B:
+        let premise = Derivation::Identity {
+            a: Assertion::and(atom("ZI"), atom("ZZ")),
+        };
+        let imp = Derivation::ImpIntro {
+            premise: Box::new(premise),
+        };
+        let s = imp.check(&[], 2).expect("ZI and ZZ commute");
+        // Conclusion: ZI ⊢ ZZ ⇒ (ZI ∧ ZZ).
+        assert!(entails(&s.gamma, &s.a, &[], 2));
+    }
+
+    #[test]
+    fn rule_11_side_condition_rejects_noncommuting() {
+        let premise = Derivation::Identity {
+            a: Assertion::and(atom("X"), atom("Z")),
+        };
+        let imp = Derivation::ImpIntro {
+            premise: Box::new(premise),
+        };
+        let err = imp.check(&[], 1).unwrap_err();
+        assert!(err.message.contains("commute"));
+    }
+
+    #[test]
+    fn example_3_3_as_a_derivation() {
+        // (X1∧Z2) ∨ (X1∧−Z2) ⊢ X1 via ∨-elim of two ∧-elims.
+        let l = Derivation::AndElim {
+            premise: Box::new(Derivation::Identity {
+                a: Assertion::and(atom("XI"), atom("IZ")),
+            }),
+            index: 0,
+        };
+        let r = Derivation::AndElim {
+            premise: Box::new(Derivation::Identity {
+                a: Assertion::and(atom("XI"), atom("-IZ")),
+            }),
+            index: 0,
+        };
+        let d = Derivation::OrElim(Box::new(l), Box::new(r));
+        assert_sound(&d, 2);
+        let s = d.check(&[], 2).unwrap();
+        // And the converse (X1 ⊢ the disjunction) holds semantically but is
+        // NOT derivable from these propositional rules alone — it needs the
+        // quantum-logic structure (Example 3.3's point).
+        assert!(entails(&s.a, &s.gamma, &[], 2));
+    }
+
+    #[test]
+    fn malformed_derivations_are_rejected() {
+        let bad = Derivation::AndIntro(
+            Box::new(Derivation::Identity { a: atom("XX") }),
+            Box::new(Derivation::Identity { a: atom("ZZ") }),
+        );
+        assert!(bad.check(&[], 2).is_err());
+        let bad2 = Derivation::AndElim {
+            premise: Box::new(Derivation::Identity { a: atom("XX") }),
+            index: 0,
+        };
+        assert!(bad2.check(&[], 2).is_err());
+    }
+}

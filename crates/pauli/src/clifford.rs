@@ -1,0 +1,397 @@
+//! Clifford (+T) conjugation of Pauli operators.
+//!
+//! The proof rules for unitary statements in Fig. 3 substitute each
+//! elementary Pauli `p` by `U† p U`; the simulator needs the forward
+//! direction `U p U†`. Both are implemented here on the symplectic
+//! representation, with exact phase tracking. Conjugation by `T`/`T†` leaves
+//! the Clifford frame and returns an [`ExtPauli`] sum (Theorem 3.1).
+
+use crate::{Dyadic, ExtPauli, ExtTerm, PauliString, SymPauli};
+use std::fmt;
+
+/// Single-qubit gates of the language (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Gate1 {
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate `diag(1, i)`.
+    S,
+    /// Inverse phase gate `diag(1, −i)`.
+    Sdg,
+    /// T gate `diag(1, e^{iπ/4})` (non-Clifford).
+    T,
+    /// Inverse T gate (non-Clifford).
+    Tdg,
+}
+
+/// Two-qubit gates of the language (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Gate2 {
+    /// Controlled-NOT (first index = control).
+    Cnot,
+    /// Controlled-Z.
+    Cz,
+    /// iSWAP.
+    ISwap,
+    /// Inverse iSWAP (internal; needed to derive forward images).
+    ISwapDg,
+}
+
+impl Gate1 {
+    /// True for the non-Clifford gates `T`, `T†`.
+    pub fn is_clifford(self) -> bool {
+        !matches!(self, Gate1::T | Gate1::Tdg)
+    }
+
+    /// The inverse gate.
+    pub fn inverse(self) -> Gate1 {
+        match self {
+            Gate1::S => Gate1::Sdg,
+            Gate1::Sdg => Gate1::S,
+            Gate1::T => Gate1::Tdg,
+            Gate1::Tdg => Gate1::T,
+            g => g,
+        }
+    }
+}
+
+impl Gate2 {
+    /// The inverse gate.
+    pub fn inverse(self) -> Gate2 {
+        match self {
+            Gate2::ISwap => Gate2::ISwapDg,
+            Gate2::ISwapDg => Gate2::ISwap,
+            g => g,
+        }
+    }
+}
+
+impl fmt::Display for Gate1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Gate1::X => "X",
+            Gate1::Y => "Y",
+            Gate1::Z => "Z",
+            Gate1::H => "H",
+            Gate1::S => "S",
+            Gate1::Sdg => "Sdg",
+            Gate1::T => "T",
+            Gate1::Tdg => "Tdg",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Gate2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Gate2::Cnot => "CNOT",
+            Gate2::Cz => "CZ",
+            Gate2::ISwap => "iSWAP",
+            Gate2::ISwapDg => "iSWAPdg",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Local conjugation table for a single-qubit Clifford gate, in the *wp*
+/// direction `U† (X^x Z^z) U`, as `(x', z', Δipow)` indexed by the local
+/// operator: `[X, Z, XZ]`.
+///
+/// The local operator convention is `X^x Z^z` (NOT the letter `Y`): e.g.
+/// `XZ = −iY`. Global strings factor per qubit without extra phase, so local
+/// updates compose soundly.
+fn table1(gate: Gate1) -> [(bool, bool, u8); 3] {
+    match gate {
+        // Pauli conjugation only flips signs.
+        Gate1::X => [(true, false, 0), (false, true, 2), (true, true, 2)],
+        Gate1::Y => [(true, false, 2), (false, true, 2), (true, true, 0)],
+        Gate1::Z => [(true, false, 2), (false, true, 0), (true, true, 2)],
+        // H: X↔Z; XZ → ZX = −XZ.
+        Gate1::H => [(false, true, 0), (true, false, 0), (true, true, 2)],
+        // S (wp): X → −Y = i³·XZ ; Z → Z ; XZ → −Y·Z = i³·X.
+        Gate1::S => [(true, true, 3), (false, true, 0), (true, false, 3)],
+        // S† (wp): X → Y = i·XZ ; Z → Z ; XZ → Y·Z = i·X.
+        Gate1::Sdg => [(true, true, 1), (false, true, 0), (true, false, 1)],
+        Gate1::T | Gate1::Tdg => panic!("T is not Clifford; use conj1_ext"),
+    }
+}
+
+/// Conjugates a symbolic Pauli by a single-qubit Clifford gate on qubit `q`.
+///
+/// `direction_wp = true` computes `U† P U` (the proof-rule substitution);
+/// `false` computes `U P U†` (the Heisenberg/simulator direction).
+///
+/// # Panics
+///
+/// Panics on `T`/`T†` (use [`conj1_ext`]) or `q` out of range.
+pub fn conj1(gate: Gate1, q: usize, p: &SymPauli, direction_wp: bool) -> SymPauli {
+    let gate = if direction_wp { gate } else { gate.inverse() };
+    let (x, z) = (p.pauli().x_bit(q), p.pauli().z_bit(q));
+    if !x && !z {
+        return p.clone();
+    }
+    let idx = match (x, z) {
+        (true, false) => 0,
+        (false, true) => 1,
+        (true, true) => 2,
+        _ => unreachable!(),
+    };
+    let (nx, nz, d) = table1(gate)[idx];
+    let mut ps = p.pauli().clone();
+    ps.set_local(q, nx, nz);
+    ps.add_ipow(d);
+    SymPauli::new(ps, p.phase().clone())
+}
+
+/// The wp-direction images `U† X_k U`, `U† Z_k U` for a two-qubit gate on
+/// `(i, j)`; `k ∈ {i, j}`. Returned as `n`-qubit strings.
+fn images2(gate: Gate2, i: usize, j: usize, n: usize) -> [PauliString; 4] {
+    let p = |spec: &[(usize, char)], ipow: u8| -> PauliString {
+        let mut acc = PauliString::identity(n);
+        for &(q, c) in spec {
+            acc = acc.mul(&PauliString::single(n, c, q));
+        }
+        acc.add_ipow(ipow);
+        acc
+    };
+    match gate {
+        // CNOT (self-inverse): X_i → X_i X_j, Z_i → Z_i, X_j → X_j, Z_j → Z_i Z_j.
+        Gate2::Cnot => [
+            p(&[(i, 'X'), (j, 'X')], 0),
+            p(&[(i, 'Z')], 0),
+            p(&[(j, 'X')], 0),
+            p(&[(i, 'Z'), (j, 'Z')], 0),
+        ],
+        // CZ (self-inverse): X_i → X_i Z_j, Z_i → Z_i, X_j → Z_i X_j, Z_j → Z_j.
+        Gate2::Cz => [
+            p(&[(i, 'X'), (j, 'Z')], 0),
+            p(&[(i, 'Z')], 0),
+            p(&[(i, 'Z'), (j, 'X')], 0),
+            p(&[(j, 'Z')], 0),
+        ],
+        // iSWAP (wp, from rule U-iSWAP): X_i → Z_i Y_j, Z_i → Z_j,
+        //                                X_j → Y_i Z_j, Z_j → Z_i.
+        Gate2::ISwap => [
+            p(&[(i, 'Z'), (j, 'Y')], 0),
+            p(&[(j, 'Z')], 0),
+            p(&[(i, 'Y'), (j, 'Z')], 0),
+            p(&[(i, 'Z')], 0),
+        ],
+        // iSWAP† (wp) == iSWAP (forward): derived by inverting the map above:
+        // X_i → −Z_i Y_j, Z_i → Z_j, X_j → −Y_i Z_j, Z_j → Z_i.
+        Gate2::ISwapDg => [
+            p(&[(i, 'Z'), (j, 'Y')], 2),
+            p(&[(j, 'Z')], 0),
+            p(&[(i, 'Y'), (j, 'Z')], 2),
+            p(&[(i, 'Z')], 0),
+        ],
+    }
+}
+
+/// Conjugates a symbolic Pauli by a two-qubit gate on qubits `(i, j)`.
+///
+/// `direction_wp = true` computes `U† P U`; `false` computes `U P U†`.
+///
+/// # Panics
+///
+/// Panics if `i == j` or either index is out of range.
+pub fn conj2(gate: Gate2, i: usize, j: usize, p: &SymPauli, direction_wp: bool) -> SymPauli {
+    assert_ne!(i, j, "two-qubit gate requires distinct qubits");
+    let gate = if direction_wp { gate } else { gate.inverse() };
+    let n = p.num_qubits();
+    let (xi, zi) = (p.pauli().x_bit(i), p.pauli().z_bit(i));
+    let (xj, zj) = (p.pauli().x_bit(j), p.pauli().z_bit(j));
+    if !(xi || zi || xj || zj) {
+        return p.clone();
+    }
+    // Factor P = i^t · (local on i,j) ⊗ (elsewhere); conjugate the local part
+    // as the ordered product X_i^xi X_j^xj Z_i^zi Z_j^zj.
+    let mut elsewhere = p.pauli().clone();
+    elsewhere.set_local(i, false, false);
+    elsewhere.set_local(j, false, false);
+    // The local factorization is exact: removing both qubits' bits removes
+    // exactly the local X and Z factors, and cross-qubit factors commute.
+    let [img_xi, img_zi, img_xj, img_zj] = images2(gate, i, j, n);
+    let mut local = PauliString::identity(n);
+    if xi {
+        local = local.mul(&img_xi);
+    }
+    if xj {
+        local = local.mul(&img_xj);
+    }
+    if zi {
+        local = local.mul(&img_zi);
+    }
+    if zj {
+        local = local.mul(&img_zj);
+    }
+    let result = elsewhere.mul(&local);
+    SymPauli::new(result, p.phase().clone())
+}
+
+/// Conjugates by `T`/`T†` on qubit `q`, producing a Pauli-expression sum.
+///
+/// wp direction: `T† X T = (X − Y)/√2`, `T† Y T = (X + Y)/√2`, `Z` fixed.
+/// Forward direction swaps the roles (`T X T† = (X + Y)/√2`).
+///
+/// # Panics
+///
+/// Panics if `gate` is not `T`/`T†`.
+pub fn conj1_ext(gate: Gate1, q: usize, p: &SymPauli, direction_wp: bool) -> ExtPauli {
+    assert!(
+        matches!(gate, Gate1::T | Gate1::Tdg),
+        "conj1_ext only handles T/T†"
+    );
+    let gate = if direction_wp { gate } else { gate.inverse() };
+    let (x, z) = (p.pauli().x_bit(q), p.pauli().z_bit(q));
+    if !x {
+        // Z and I are fixed by T.
+        return ExtPauli::from_sym(p.clone());
+    }
+    // Local operator is X^1 Z^z. Write P = elsewhere ⊗ local (exact: disjoint
+    // supports commute). conj(local) = conj(X) · Z^z.
+    let n = p.num_qubits();
+    let mut elsewhere = p.pauli().clone();
+    elsewhere.set_local(q, false, false);
+
+    // conj(X) for T (wp):  (X − Y)/√2 ; for Tdg (wp): (X + Y)/√2.
+    let minus = matches!(gate, Gate1::T);
+    let xq = PauliString::single(n, 'X', q);
+    let yq = PauliString::single(n, 'Y', q);
+    let zq = PauliString::single(n, 'Z', q);
+    let mk = |string: PauliString, coeff: Dyadic| -> ExtTerm {
+        let mut s = elsewhere.mul(&string);
+        if z {
+            s = s.mul(&zq);
+        }
+        ExtTerm::new(coeff, s, p.phase().clone())
+    };
+    let c = Dyadic::inv_sqrt2();
+    let t1 = mk(xq, c);
+    let t2 = mk(yq, if minus { -c } else { c });
+    ExtPauli::from_terms(vec![t1, t2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veriqec_cexpr::Affine;
+
+    fn sp(s: &str) -> SymPauli {
+        SymPauli::plain(PauliString::from_letters(s).unwrap())
+    }
+
+    #[test]
+    fn h_rule_matches_paper() {
+        // (U-H): X → Z, Z → X, Y → −Y.
+        assert_eq!(conj1(Gate1::H, 0, &sp("X"), true).to_string(), "Z");
+        assert_eq!(conj1(Gate1::H, 0, &sp("Z"), true).to_string(), "X");
+        assert_eq!(conj1(Gate1::H, 0, &sp("Y"), true).to_string(), "-Y");
+    }
+
+    #[test]
+    fn s_rule_matches_paper() {
+        // (U-S): X → −Y, Y → X, Z → Z.
+        assert_eq!(conj1(Gate1::S, 0, &sp("X"), true).to_string(), "-Y");
+        assert_eq!(conj1(Gate1::S, 0, &sp("Y"), true).to_string(), "X");
+        assert_eq!(conj1(Gate1::S, 0, &sp("Z"), true).to_string(), "Z");
+        // Forward: S X S† = Y.
+        assert_eq!(conj1(Gate1::S, 0, &sp("X"), false).to_string(), "Y");
+    }
+
+    #[test]
+    fn cnot_rule_matches_paper() {
+        // (U-CNOT): X_i → X_i X_j, Y_i → Y_i X_j, Y_j → Z_i Y_j, Z_j → Z_i Z_j.
+        assert_eq!(conj2(Gate2::Cnot, 0, 1, &sp("XI"), true).to_string(), "XX");
+        assert_eq!(conj2(Gate2::Cnot, 0, 1, &sp("YI"), true).to_string(), "YX");
+        assert_eq!(conj2(Gate2::Cnot, 0, 1, &sp("IY"), true).to_string(), "ZY");
+        assert_eq!(conj2(Gate2::Cnot, 0, 1, &sp("IZ"), true).to_string(), "ZZ");
+        assert_eq!(conj2(Gate2::Cnot, 0, 1, &sp("ZI"), true).to_string(), "ZI");
+        assert_eq!(conj2(Gate2::Cnot, 0, 1, &sp("IX"), true).to_string(), "IX");
+    }
+
+    #[test]
+    fn cz_rule_matches_paper() {
+        // (U-CZ): X_i → X_i Z_j, Y_i → Y_i Z_j, X_j → Z_i X_j, Y_j → Z_i Y_j.
+        assert_eq!(conj2(Gate2::Cz, 0, 1, &sp("XI"), true).to_string(), "XZ");
+        assert_eq!(conj2(Gate2::Cz, 0, 1, &sp("YI"), true).to_string(), "YZ");
+        assert_eq!(conj2(Gate2::Cz, 0, 1, &sp("IX"), true).to_string(), "ZX");
+        assert_eq!(conj2(Gate2::Cz, 0, 1, &sp("IY"), true).to_string(), "ZY");
+    }
+
+    #[test]
+    fn iswap_rule_matches_paper() {
+        // (U-iSWAP): X_i → Z_i Y_j, Y_i → −Z_i X_j, Z_i → Z_j,
+        //            X_j → Y_i Z_j, Y_j → −X_i Z_j, Z_j → Z_i.
+        assert_eq!(conj2(Gate2::ISwap, 0, 1, &sp("XI"), true).to_string(), "ZY");
+        assert_eq!(conj2(Gate2::ISwap, 0, 1, &sp("YI"), true).to_string(), "-ZX");
+        assert_eq!(conj2(Gate2::ISwap, 0, 1, &sp("ZI"), true).to_string(), "IZ");
+        assert_eq!(conj2(Gate2::ISwap, 0, 1, &sp("IX"), true).to_string(), "YZ");
+        assert_eq!(conj2(Gate2::ISwap, 0, 1, &sp("IY"), true).to_string(), "-XZ");
+        assert_eq!(conj2(Gate2::ISwap, 0, 1, &sp("IZ"), true).to_string(), "ZI");
+    }
+
+    #[test]
+    fn wp_and_forward_are_inverse() {
+        let cases = ["XIZ", "YYI", "ZXY", "IXX", "XYZ"];
+        for s in cases {
+            let p = sp(s);
+            for g in [Gate1::X, Gate1::Y, Gate1::Z, Gate1::H, Gate1::S, Gate1::Sdg] {
+                for q in 0..3 {
+                    let there = conj1(g, q, &p, true);
+                    let back = conj1(g, q, &there, false);
+                    assert_eq!(back, p, "gate {g} on {s} qubit {q}");
+                }
+            }
+            for g in [Gate2::Cnot, Gate2::Cz, Gate2::ISwap] {
+                for (i, j) in [(0, 1), (1, 2), (2, 0), (1, 0)] {
+                    let there = conj2(g, i, j, &p, true);
+                    let back = conj2(g, i, j, &there, false);
+                    assert_eq!(back, p, "gate {g} on {s} at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conjugation_preserves_symbolic_phase_vars() {
+        // CNOT† (X⊗Z) CNOT = −Y⊗Y: the numeric sign flips the constant part
+        // of the phase, but the symbolic (variable) part must be untouched.
+        let v = veriqec_cexpr::VarId(7);
+        let p = SymPauli::new(PauliString::from_letters("XZ").unwrap(), Affine::var(v));
+        let q = conj2(Gate2::Cnot, 0, 1, &p, true);
+        assert_eq!(q.pauli().to_string(), "YY");
+        assert!(q.phase().contains(v));
+        assert!(q.phase().constant_part(), "sign of −YY folds into the phase");
+        // A sign-free case keeps the phase exactly.
+        let p2 = SymPauli::new(PauliString::from_letters("XX").unwrap(), Affine::var(v));
+        let q2 = conj2(Gate2::Cnot, 0, 1, &p2, true);
+        assert_eq!(q2.pauli().to_string(), "XI");
+        assert_eq!(q2.phase(), p2.phase());
+    }
+
+    #[test]
+    fn t_conjugation_splits_x() {
+        let p = sp("X");
+        let e = conj1_ext(Gate1::T, 0, &p, true);
+        assert_eq!(e.terms().len(), 2);
+        // (X − Y)/√2
+        let s = e.to_string();
+        assert!(s.contains("X"), "{s}");
+        assert!(s.contains("Y"), "{s}");
+    }
+
+    #[test]
+    fn t_fixes_z() {
+        let p = sp("Z");
+        let e = conj1_ext(Gate1::T, 0, &p, true);
+        assert_eq!(e.terms().len(), 1);
+    }
+}

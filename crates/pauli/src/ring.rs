@@ -1,0 +1,215 @@
+//! Exact arithmetic in the ring Z[1/√2] (the `SExp` scalars of Eqn. 3).
+//!
+//! Sundaram et al. observed that closing Pauli expressions under the `T` gate
+//! requires scalars of the form `(x + y√2)/2^t`; the paper adopts the same
+//! ring. We implement it exactly (no floating point) so phase bookkeeping in
+//! the non-Pauli-error pipeline is sound.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An element `(a + b·√2) / 2^t` of Z[1/√2], kept in normalized form
+/// (`a`, `b` not both even unless `t == 0`).
+///
+/// # Examples
+///
+/// ```
+/// use veriqec_pauli::Dyadic;
+/// let h = Dyadic::inv_sqrt2(); // 1/√2 = √2/2
+/// assert_eq!(h * h, Dyadic::from_int(1) * Dyadic::new(1, 0, 1)); // 1/2
+/// assert_eq!((h * h + h * h), Dyadic::from_int(1));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dyadic {
+    a: i64,
+    b: i64,
+    t: u32,
+}
+
+impl Dyadic {
+    /// Creates `(a + b√2)/2^t`, normalizing the representation.
+    pub fn new(a: i64, b: i64, t: u32) -> Self {
+        let mut d = Dyadic { a, b, t };
+        d.normalize();
+        d
+    }
+
+    /// The integer `n`.
+    pub fn from_int(n: i64) -> Self {
+        Dyadic::new(n, 0, 0)
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        Dyadic::from_int(0)
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Dyadic::from_int(1)
+    }
+
+    /// `√2`.
+    pub fn sqrt2() -> Self {
+        Dyadic::new(0, 1, 0)
+    }
+
+    /// `1/√2 = √2/2`.
+    pub fn inv_sqrt2() -> Self {
+        Dyadic::new(0, 1, 1)
+    }
+
+    /// True when the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.a == 0 && self.b == 0
+    }
+
+    /// True when the value is one.
+    pub fn is_one(&self) -> bool {
+        *self == Dyadic::one()
+    }
+
+    /// Numerical value as `f64` (for display/diagnostics only).
+    pub fn to_f64(&self) -> f64 {
+        (self.a as f64 + self.b as f64 * std::f64::consts::SQRT_2) / (1u64 << self.t) as f64
+    }
+
+    fn normalize(&mut self) {
+        if self.a == 0 && self.b == 0 {
+            self.t = 0;
+            return;
+        }
+        while self.t > 0 && self.a % 2 == 0 && self.b % 2 == 0 {
+            self.a /= 2;
+            self.b /= 2;
+            self.t -= 1;
+        }
+    }
+
+    fn with_common_denominator(x: Dyadic, y: Dyadic) -> (i64, i64, i64, i64, u32) {
+        let t = x.t.max(y.t);
+        let sx = 1i64 << (t - x.t);
+        let sy = 1i64 << (t - y.t);
+        (x.a * sx, x.b * sx, y.a * sy, y.b * sy, t)
+    }
+}
+
+impl Add for Dyadic {
+    type Output = Dyadic;
+
+    fn add(self, rhs: Dyadic) -> Dyadic {
+        let (xa, xb, ya, yb, t) = Dyadic::with_common_denominator(self, rhs);
+        Dyadic::new(xa + ya, xb + yb, t)
+    }
+}
+
+impl Sub for Dyadic {
+    type Output = Dyadic;
+
+    fn sub(self, rhs: Dyadic) -> Dyadic {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Dyadic {
+    type Output = Dyadic;
+
+    fn neg(self) -> Dyadic {
+        Dyadic::new(-self.a, -self.b, self.t)
+    }
+}
+
+impl Mul for Dyadic {
+    type Output = Dyadic;
+
+    fn mul(self, rhs: Dyadic) -> Dyadic {
+        // (a + b√2)(c + d√2) = (ac + 2bd) + (ad + bc)√2
+        Dyadic::new(
+            self.a * rhs.a + 2 * self.b * rhs.b,
+            self.a * rhs.b + self.b * rhs.a,
+            self.t + rhs.t,
+        )
+    }
+}
+
+impl fmt::Display for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut parts = Vec::new();
+        if self.a != 0 {
+            parts.push(format!("{}", self.a));
+        }
+        if self.b != 0 {
+            parts.push(if self.b == 1 {
+                "√2".to_string()
+            } else if self.b == -1 {
+                "-√2".to_string()
+            } else {
+                format!("{}√2", self.b)
+            });
+        }
+        let num = parts.join("+").replace("+-", "-");
+        if self.t == 0 {
+            write!(f, "{num}")
+        } else {
+            write!(f, "({num})/{}", 1u64 << self.t)
+        }
+    }
+}
+
+impl fmt::Debug for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inv_sqrt2_squares_to_half() {
+        let h = Dyadic::inv_sqrt2();
+        assert_eq!(h * h, Dyadic::new(1, 0, 1));
+        assert_eq!(h * h + h * h, Dyadic::one());
+        assert_eq!(h * Dyadic::sqrt2(), Dyadic::one());
+    }
+
+    #[test]
+    fn normalization_makes_eq_work() {
+        assert_eq!(Dyadic::new(2, 0, 1), Dyadic::one());
+        assert_eq!(Dyadic::new(4, 2, 2), Dyadic::new(2, 1, 1));
+        assert_eq!(Dyadic::new(0, 0, 5), Dyadic::zero());
+    }
+
+    #[test]
+    fn ring_laws_sample() {
+        let xs = [
+            Dyadic::new(1, 1, 0),
+            Dyadic::new(-3, 2, 2),
+            Dyadic::inv_sqrt2(),
+            Dyadic::zero(),
+        ];
+        for &x in &xs {
+            for &y in &xs {
+                assert_eq!(x + y, y + x);
+                assert_eq!(x * y, y * x);
+                for &z in &xs {
+                    assert_eq!(x * (y + z), x * y + x * z);
+                }
+            }
+            assert_eq!(x + Dyadic::zero(), x);
+            assert_eq!(x * Dyadic::one(), x);
+            assert_eq!(x - x, Dyadic::zero());
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Dyadic::inv_sqrt2().to_string(), "(√2)/2");
+        assert_eq!(Dyadic::from_int(-2).to_string(), "-2");
+        assert_eq!(Dyadic::new(1, -1, 1).to_string(), "(1-√2)/2");
+    }
+}

@@ -1,0 +1,188 @@
+//! Minimal complex arithmetic (no external numerics dependency).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use veriqec_qsim::C64;
+/// let i = C64::i();
+/// assert!((i * i + C64::one()).norm() < 1e-12);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Creates `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        C64::new(0.0, 0.0)
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        C64::new(1.0, 0.0)
+    }
+
+    /// The imaginary unit.
+    pub fn i() -> Self {
+        C64::new(0.0, 1.0)
+    }
+
+    /// A real number.
+    pub fn real(x: f64) -> Self {
+        C64::new(x, 0.0)
+    }
+
+    /// `i^k` for `k` mod 4.
+    pub fn i_pow(k: u8) -> Self {
+        match k % 4 {
+            0 => C64::one(),
+            1 => C64::i(),
+            2 => -C64::one(),
+            _ => -C64::i(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Modulus.
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// True when within `tol` of zero.
+    pub fn is_zero_within(self, tol: f64) -> bool {
+        self.norm() < tol
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, o: C64) -> C64 {
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    fn mul(self, s: f64) -> C64 {
+        C64::new(self.re * s, self.im * s)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    fn div(self, o: C64) -> C64 {
+        let d = o.norm_sqr();
+        C64::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{:.4}", self.re)
+        } else if self.re == 0.0 {
+            write!(f, "{:.4}i", self.im)
+        } else {
+            write!(f, "{:.4}{:+.4}i", self.re, self.im)
+        }
+    }
+}
+
+/// Inner product `⟨a, b⟩ = Σ conj(a_i)·b_i`.
+pub fn inner(a: &[C64], b: &[C64]) -> C64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .fold(C64::zero(), |acc, (&x, &y)| acc + x.conj() * y)
+}
+
+/// Euclidean norm of a vector.
+pub fn vec_norm(a: &[C64]) -> f64 {
+    a.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_ops() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert!(((a * b) / b - a).norm() < 1e-12);
+        assert_eq!(C64::i_pow(2), -C64::one());
+        assert_eq!(C64::i_pow(3), -C64::i());
+    }
+
+    #[test]
+    fn inner_product_is_conjugate_linear() {
+        let a = vec![C64::i(), C64::one()];
+        let b = vec![C64::one(), C64::i()];
+        let ab = inner(&a, &b);
+        let ba = inner(&b, &a);
+        assert!((ab - ba.conj()).norm() < 1e-12);
+    }
+}

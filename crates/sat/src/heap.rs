@@ -1,0 +1,145 @@
+//! Indexed max-heap over variable activities (the VSIDS order).
+
+use crate::Var;
+
+/// A binary max-heap of variables keyed by an external activity array,
+/// supporting `decrease/increase key` via stored positions.
+#[derive(Clone, Debug, Default)]
+pub struct ActivityHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl ActivityHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makes room for variables up to `n - 1`.
+    pub fn grow_to(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, ABSENT);
+        }
+    }
+
+    /// Number of queued variables.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when `v` is currently queued.
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos.get(v.index()).copied().unwrap_or(ABSENT) != ABSENT
+    }
+
+    /// Inserts `v` (no-op if present).
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow_to(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Pops the variable with the highest activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order for `v` after its activity increased.
+    pub fn bumped(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v.index()) {
+            if p != ABSENT {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[largest].index()] {
+                largest = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[largest].index()] {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].index()] = a;
+        self.pos[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        for v in 0..4 {
+            h.insert(Var(v), &act);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&act)).map(|v| v.0).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn bump_reorders() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for v in 0..3 {
+            h.insert(Var(v), &act);
+        }
+        act[0] = 10.0;
+        h.bumped(Var(0), &act);
+        assert_eq!(h.pop_max(&act), Some(Var(0)));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let act = vec![1.0; 3];
+        let mut h = ActivityHeap::new();
+        h.insert(Var(1), &act);
+        h.insert(Var(1), &act);
+        assert_eq!(h.len(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Variables and literals.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// Index for dense per-variable arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable with a polarity, encoded as `2*var + sign`.
+///
+/// # Examples
+///
+/// ```
+/// use veriqec_sat::{Lit, Var};
+/// let l = Var(3).positive();
+/// assert_eq!(l.var(), Var(3));
+/// assert!(l.is_positive());
+/// assert_eq!(!l, Var(3).negative());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Builds a literal from a variable and a polarity.
+    pub fn new(var: Var, positive: bool) -> Self {
+        Lit(var.0 << 1 | u32::from(!positive))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True for positive literals.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index (`2*var + sign`) for watch lists.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs from a dense index.
+    pub fn from_index(i: usize) -> Self {
+        Lit(i as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", if self.is_positive() { "" } else { "~" }, self.0 >> 1)
+    }
+}
+
+/// Ternary truth value used for partial assignments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    Undef,
+}
+
+impl LBool {
+    /// Converts a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Logical negation; `Undef` is fixed.
+    pub fn negate(self) -> Self {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        for v in 0..10u32 {
+            for pos in [true, false] {
+                let l = Lit::new(Var(v), pos);
+                assert_eq!(l.var(), Var(v));
+                assert_eq!(l.is_positive(), pos);
+                assert_eq!(Lit::from_index(l.index()), l);
+                assert_eq!((!l).var(), Var(v));
+                assert_eq!((!l).is_positive(), !pos);
+                assert_eq!(!!l, l);
+            }
+        }
+    }
+}

@@ -1,0 +1,834 @@
+//! A CDCL SAT solver: two-watched literals, first-UIP learning, VSIDS
+//! branching with phase saving, Luby restarts and learned-clause reduction.
+//!
+//! This is the engine behind the `veriqec_smt` formula layer and thus the
+//! reproduction's stand-in for the paper's Z3/CVC5 back end.
+
+use crate::heap::ActivityHeap;
+use crate::{LBool, Lit, Var};
+
+/// Reference to a clause in the solver's arena.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct ClauseRef(u32);
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause cannot propagate and the watch scan can skip it.
+    blocker: Lit,
+}
+
+/// Tunable feature switches, used by the ablation benchmarks.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverConfig {
+    /// Branch on VSIDS activity (otherwise: lowest-index unassigned variable).
+    pub use_vsids: bool,
+    /// Learn conflict clauses (otherwise: plain backtracking on conflicts).
+    pub use_learning: bool,
+    /// Remember the last assigned polarity of each variable.
+    pub use_phase_saving: bool,
+    /// Restart with the Luby sequence.
+    pub use_restarts: bool,
+    /// Base interval (in conflicts) of the Luby restart sequence.
+    pub restart_base: u64,
+    /// Maximum number of conflicts before giving up (`None` = unbounded).
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            use_vsids: true,
+            use_learning: true,
+            use_phase_saving: true,
+            use_restarts: true,
+            restart_base: 128,
+            conflict_budget: None,
+        }
+    }
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; query the model through [`Solver::model_value`].
+    Sat,
+    /// Unsatisfiable (under the given assumptions).
+    Unsat,
+    /// The conflict budget was exhausted.
+    Unknown,
+}
+
+/// Aggregate statistics of a solver run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently kept.
+    pub learnts: u64,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use veriqec_sat::{SatResult, Solver, Var};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// s.add_clause([a, b]);
+/// s.add_clause([!a]);
+/// assert_eq!(s.solve(&[]), SatResult::Sat);
+/// assert_eq!(s.model_value(b), Some(true));
+/// s.add_clause([!b]);
+/// assert_eq!(s.solve(&[]), SatResult::Unsat);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    heap: ActivityHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    qhead: usize,
+    ok: bool,
+    var_inc: f64,
+    cla_inc: f64,
+    stats: SolverStats,
+    model: Vec<LBool>,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            activity: Vec::new(),
+            heap: ActivityHeap::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            qhead: 0,
+            ok: true,
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            stats: SolverStats::default(),
+            model: Vec::new(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.reason.push(None);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of (non-deleted) clauses, including learnt ones.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already in an
+    /// unsatisfiable state (adding the empty clause, or a root-level conflict).
+    ///
+    /// Tautologies are dropped and duplicate literals merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal mentions a variable that was never allocated.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "clauses may only be added at the root level"
+        );
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for l in &lits {
+            assert!(l.var().index() < self.num_vars(), "unknown variable {l:?}");
+        }
+        lits.sort();
+        lits.dedup();
+        // Drop tautologies; filter out root-false literals; detect satisfied clauses.
+        let mut i = 0;
+        while i + 1 < lits.len() {
+            if lits[i].var() == lits[i + 1].var() {
+                return true; // contains l and ~l: tautology
+            }
+            i += 1;
+        }
+        lits.retain(|&l| self.value(l) != LBool::False);
+        if lits.iter().any(|&l| self.value(l) == LBool::True) {
+            return true;
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(lits[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(lits, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = ClauseRef(self.clauses.len() as u32);
+        self.watches[(!lits[0]).index()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).index()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        if learnt {
+            self.stats.learnts += 1;
+        }
+        cref
+    }
+
+    /// Current truth value of a literal.
+    fn value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var();
+        self.assigns[v.index()] = LBool::from_bool(l.is_positive());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        if self.config.use_phase_saving {
+            self.polarity[v.index()] = l.is_positive();
+        }
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            'watchers: while i < self.watches[p.index()].len() {
+                let Watcher { cref, blocker } = self.watches[p.index()][i];
+                if self.value(blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Make sure the false literal is lits[1].
+                let false_lit = !p;
+                {
+                    let c = &mut self.clauses[cref.0 as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cref.0 as usize].lits[0];
+                if first != blocker && self.value(first) == LBool::True {
+                    self.watches[p.index()][i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref.0 as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref.0 as usize].lits[k];
+                    if self.value(lk) != LBool::False {
+                        self.clauses[cref.0 as usize].lits.swap(1, k);
+                        self.watches[p.index()].swap_remove(i);
+                        self.watches[(!lk).index()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                if self.value(first) == LBool::False {
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.unchecked_enqueue(first, Some(cref));
+                i += 1;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.0 as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_index(0)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = conflict;
+
+        loop {
+            self.bump_clause(cref);
+            let lits = self.clauses[cref.0 as usize].lits.clone();
+            let start = usize::from(p.is_some());
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal from the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !lit;
+                break;
+            }
+            cref = self.reason[lit.var().index()].expect("non-decision must have a reason");
+        }
+
+        // Clause minimization: drop literals implied by the rest. `seen` must
+        // be cleared for dropped literals as well, so remember the full tail.
+        let full_tail: Vec<Lit> = learnt[1..].to_vec();
+        let keep: Vec<Lit> = full_tail
+            .iter()
+            .copied()
+            .filter(|&l| !self.is_redundant(l))
+            .collect();
+        learnt.truncate(1);
+        learnt.extend(keep);
+
+        // Find backtrack level: the second-highest level in the clause.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+
+        self.seen[learnt[0].var().index()] = false;
+        for &l in &full_tail {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, bt_level)
+    }
+
+    /// A literal is redundant if its reason clause consists only of literals
+    /// already seen (a cheap one-step version of recursive minimization).
+    fn is_redundant(&self, l: Lit) -> bool {
+        let Some(r) = self.reason[l.var().index()] else {
+            return false;
+        };
+        self.clauses[r.0 as usize].lits[1..].iter().all(|&q| {
+            self.seen[q.var().index()] || self.level[q.var().index()] == 0
+        })
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            if !self.heap.contains(v) {
+                self.heap.insert(v, &self.activity);
+            }
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        if self.config.use_vsids {
+            while let Some(v) = self.heap.pop_max(&self.activity) {
+                if self.assigns[v.index()] == LBool::Undef {
+                    let pol = self.config.use_phase_saving && self.polarity[v.index()];
+                    return Some(Lit::new(v, pol));
+                }
+            }
+            None
+        } else {
+            (0..self.num_vars())
+                .map(|i| Var(i as u32))
+                .find(|v| self.assigns[v.index()] == LBool::Undef)
+                .map(|v| Lit::new(v, self.polarity[v.index()]))
+        }
+    }
+
+    fn reduce_learnts(&mut self) {
+        let mut learnt_refs: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learnt && !self.clauses[i].deleted)
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<Option<ClauseRef>> = self.reason.clone();
+        let is_locked = |cref: usize| {
+            locked
+                .iter()
+                .any(|r| r.map(|c| c.0 as usize) == Some(cref))
+        };
+        let remove_count = learnt_refs.len() / 2;
+        for &idx in learnt_refs.iter().take(remove_count) {
+            if self.clauses[idx].lits.len() > 2 && !is_locked(idx) {
+                self.detach_clause(idx);
+            }
+        }
+    }
+
+    fn detach_clause(&mut self, idx: usize) {
+        let cref = ClauseRef(idx as u32);
+        let (l0, l1) = {
+            let c = &self.clauses[idx];
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).index()].retain(|w| w.cref != cref);
+        self.watches[(!l1).index()].retain(|w| w.cref != cref);
+        self.clauses[idx].deleted = true;
+        self.stats.learnts = self.stats.learnts.saturating_sub(1);
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// Assumptions are temporary: the solver state is reusable afterwards for
+    /// further `add_clause`/`solve` calls (incremental solving).
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+
+        let mut conflicts_until_restart = self.restart_interval(0);
+        let mut restart_count = 0u64;
+        let mut conflicts_this_solve = 0u64;
+        let mut max_learnts = (self.clauses.len() / 3).max(1000) as u64;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_solve += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                if self.config.use_learning {
+                    let (learnt, bt) = self.analyze(conflict);
+                    self.backtrack_to(bt);
+                    if learnt.len() == 1 {
+                        self.unchecked_enqueue(learnt[0], None);
+                    } else {
+                        let cref = self.attach_clause(learnt.clone(), true);
+                        self.unchecked_enqueue(learnt[0], Some(cref));
+                    }
+                    self.var_inc /= 0.95;
+                    self.cla_inc /= 0.999;
+                } else {
+                    // Chronological backtracking: flip the last decision.
+                    let lvl = self.decision_level() - 1;
+                    let flip = !self.trail[self.trail_lim[lvl as usize]];
+                    self.backtrack_to(lvl);
+                    // Without learning we cannot record a reason; treat as decision-level
+                    // assignment at the current level.
+                    if self.value(flip) == LBool::Undef {
+                        self.unchecked_enqueue(flip, None);
+                    } else if self.decision_level() == 0 {
+                        self.ok = false;
+                        return SatResult::Unsat;
+                    }
+                }
+                if let Some(budget) = self.config.conflict_budget {
+                    if conflicts_this_solve >= budget {
+                        return SatResult::Unknown;
+                    }
+                }
+                if self.config.use_restarts && conflicts_this_solve >= conflicts_until_restart {
+                    restart_count += 1;
+                    self.stats.restarts += 1;
+                    conflicts_until_restart =
+                        conflicts_this_solve + self.restart_interval(restart_count);
+                    self.backtrack_to(0);
+                }
+                if self.config.use_learning && self.stats.learnts > max_learnts {
+                    self.reduce_learnts();
+                    max_learnts += max_learnts / 2;
+                }
+            } else {
+                // No conflict: extend with assumptions, then decide.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.value(a) {
+                        LBool::True => {
+                            // Already implied; open a dummy level to keep indices aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => return SatResult::Unsat,
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => {
+                        self.model = self.assigns.clone();
+                        self.backtrack_to(0);
+                        return SatResult::Sat;
+                    }
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn restart_interval(&self, i: u64) -> u64 {
+        self.config.restart_base * luby(i + 1)
+    }
+
+    /// Value of a literal in the last satisfying model.
+    ///
+    /// Returns `None` if no model is available or the variable was never
+    /// assigned (free variables may legitimately be unassigned only when the
+    /// formula did not constrain them; this solver assigns all variables).
+    pub fn model_value(&self, l: Lit) -> Option<bool> {
+        match self.model.get(l.var().index())? {
+            LBool::True => Some(l.is_positive()),
+            LBool::False => Some(!l.is_positive()),
+            LBool::Undef => None,
+        }
+    }
+
+    /// The complete last model as booleans (unassigned variables read `false`).
+    pub fn model(&self) -> Vec<bool> {
+        self.model
+            .iter()
+            .map(|&v| matches!(v, LBool::True))
+            .collect()
+    }
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+fn luby(mut i: u64) -> u64 {
+    loop {
+        // Find smallest k with i <= 2^k - 1.
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if i == (1u64 << k) - 1 {
+            return 1u64 << (k - 1);
+        }
+        // Recurse into the copy of the previous subsequence.
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, v: usize, pos: bool) -> Lit {
+        while s.num_vars() <= v {
+            s.new_var();
+        }
+        Lit::new(Var(v as u32), pos)
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        assert!(s.add_clause([a]));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.model_value(a), Some(true));
+        assert!(!s.add_clause([!a]));
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        assert!(s.add_clause([a, !a]));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        let mut s = Solver::new();
+        let n = 30;
+        for i in 0..n - 1 {
+            let x = lit(&mut s, i, true);
+            let y = lit(&mut s, i + 1, true);
+            s.add_clause([!x, y]); // x_i -> x_{i+1}
+        }
+        let first = lit(&mut s, 0, true);
+        s.add_clause([first]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        for i in 0..n {
+            let l = lit(&mut s, i, true);
+            assert_eq!(s.model_value(l), Some(true));
+        }
+    }
+
+    #[test]
+    fn xor_chain_parity_unsat() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 1 is unsatisfiable.
+        let mut s = Solver::new();
+        let x1 = lit(&mut s, 0, true);
+        let x2 = lit(&mut s, 1, true);
+        let x3 = lit(&mut s, 2, true);
+        for (a, b) in [(x1, x2), (x2, x3), (x1, x3)] {
+            s.add_clause([a, b]);
+            s.add_clause([!a, !b]);
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_unsat() {
+        // Classic PHP(4,3): each pigeon in some hole, no two share a hole.
+        let mut s = Solver::new();
+        let p = |s: &mut Solver, pigeon: usize, hole: usize| lit(s, pigeon * 3 + hole, true);
+        for pigeon in 0..4 {
+            let c: Vec<Lit> = (0..3).map(|h| p(&mut s, pigeon, h)).collect();
+            s.add_clause(c);
+        }
+        for hole in 0..3 {
+            for p1 in 0..4 {
+                for p2 in (p1 + 1)..4 {
+                    let a = p(&mut s, p1, hole);
+                    let b = p(&mut s, p2, hole);
+                    s.add_clause([!a, !b]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        let b = lit(&mut s, 1, true);
+        s.add_clause([a, b]);
+        assert_eq!(s.solve(&[!a, !b]), SatResult::Unsat);
+        assert_eq!(s.solve(&[!a]), SatResult::Sat);
+        assert_eq!(s.model_value(b), Some(true));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn all_configs_agree_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for round in 0..60 {
+            let n = 8;
+            let clauses: Vec<Vec<(usize, bool)>> = (0..24)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| (rng.gen_range(0..n), rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+            // Brute-force reference.
+            let brute_sat = (0..1u32 << n).any(|bits| {
+                clauses.iter().all(|c| {
+                    c.iter()
+                        .any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos)
+                })
+            });
+            for (vsids, learning, restarts) in [
+                (true, true, true),
+                (false, true, false),
+                (true, false, false),
+                (false, false, false),
+            ] {
+                let mut s = Solver::with_config(SolverConfig {
+                    use_vsids: vsids,
+                    use_learning: learning,
+                    use_restarts: restarts,
+                    ..SolverConfig::default()
+                });
+                for _ in 0..n {
+                    s.new_var();
+                }
+                for c in &clauses {
+                    let lits: Vec<Lit> =
+                        c.iter().map(|&(v, pos)| Lit::new(Var(v as u32), pos)).collect();
+                    s.add_clause(lits);
+                }
+                let got = s.solve(&[]);
+                let expect = if brute_sat {
+                    SatResult::Sat
+                } else {
+                    SatResult::Unsat
+                };
+                assert_eq!(got, expect, "round {round} config {vsids}/{learning}/{restarts}");
+                if got == SatResult::Sat {
+                    // Verify the model actually satisfies the clauses.
+                    let model = s.model();
+                    for c in &clauses {
+                        assert!(c.iter().any(|&(v, pos)| model[v] == pos));
+                    }
+                }
+            }
+        }
+    }
+}

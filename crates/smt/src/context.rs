@@ -1,0 +1,704 @@
+//! The encoding context: classical expressions → CNF → CDCL solver.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use veriqec_cexpr::{Affine, BExp, CMem, IExp, Value, VarId};
+use veriqec_sat::{Lit, SatResult, Solver, SolverConfig};
+
+/// Error raised when an expression falls outside the encodable fragment.
+///
+/// The fragment is: boolean structure over boolean variables, XOR/affine
+/// forms, and (in)equalities between *linear* integer expressions whose
+/// variables are boolean indicators with small non-negative coefficients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    /// Description of the offending construct.
+    pub message: String,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression outside the SMT fragment: {}", self.message)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Result of a [`SmtContext::check`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckResult {
+    /// Satisfiable; a model is available through [`SmtContext::model`].
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// Resource budget exhausted.
+    Unknown,
+}
+
+impl CheckResult {
+    /// True for [`CheckResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == CheckResult::Sat
+    }
+
+    /// True for [`CheckResult::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        self == CheckResult::Unsat
+    }
+}
+
+/// An incremental SMT-style solving context.
+///
+/// Wraps a [`veriqec_sat::Solver`], maps [`VarId`]s to SAT variables lazily,
+/// and offers assertion of boolean expressions, affine GF(2) equations and
+/// cardinality constraints. See the crate docs for an example.
+#[derive(Clone, Debug)]
+pub struct SmtContext {
+    solver: Solver,
+    varmap: HashMap<VarId, veriqec_sat::Var>,
+    tracked: Vec<VarId>,
+    true_lit: Option<Lit>,
+}
+
+impl Default for SmtContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SmtContext {
+    /// Creates a context with the default solver configuration.
+    pub fn new() -> Self {
+        SmtContext::with_config(SolverConfig::default())
+    }
+
+    /// Creates a context with an explicit solver configuration (used by the
+    /// ablation benchmarks).
+    pub fn with_config(config: SolverConfig) -> Self {
+        SmtContext {
+            solver: Solver::with_config(config),
+            varmap: HashMap::new(),
+            tracked: Vec::new(),
+            true_lit: None,
+        }
+    }
+
+    /// The SAT literal representing the constant `true`.
+    pub fn lit_true(&mut self) -> Lit {
+        if let Some(l) = self.true_lit {
+            return l;
+        }
+        let l = self.solver.new_var().positive();
+        self.solver.add_clause([l]);
+        self.true_lit = Some(l);
+        l
+    }
+
+    /// The SAT literal of a (boolean) classical variable, allocated on first use.
+    pub fn lit_of(&mut self, v: VarId) -> Lit {
+        if let Some(&sv) = self.varmap.get(&v) {
+            return sv.positive();
+        }
+        let sv = self.solver.new_var();
+        self.varmap.insert(v, sv);
+        self.tracked.push(v);
+        sv.positive()
+    }
+
+    /// A fresh auxiliary literal (not tied to any classical variable).
+    pub fn fresh_lit(&mut self) -> Lit {
+        self.solver.new_var().positive()
+    }
+
+    /// Adds a raw clause of SAT literals.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.solver.add_clause(lits);
+    }
+
+    // ---------------------------------------------------------------- Tseitin
+
+    fn tseitin_not(&mut self, a: Lit) -> Lit {
+        !a
+    }
+
+    fn tseitin_and(&mut self, a: Lit, b: Lit) -> Lit {
+        let x = self.fresh_lit();
+        self.solver.add_clause([!x, a]);
+        self.solver.add_clause([!x, b]);
+        self.solver.add_clause([x, !a, !b]);
+        x
+    }
+
+    fn tseitin_or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.tseitin_and(!a, !b)
+    }
+
+    fn tseitin_xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let x = self.fresh_lit();
+        self.solver.add_clause([!x, a, b]);
+        self.solver.add_clause([!x, !a, !b]);
+        self.solver.add_clause([x, !a, b]);
+        self.solver.add_clause([x, a, !b]);
+        x
+    }
+
+    /// Reifies a conjunction of literals into a single literal.
+    pub fn reify_conj(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.lit_true(),
+            [l] => *l,
+            _ => {
+                let x = self.fresh_lit();
+                for &l in lits {
+                    self.solver.add_clause([!x, l]);
+                }
+                let mut clause: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                clause.push(x);
+                self.solver.add_clause(clause);
+                x
+            }
+        }
+    }
+
+    /// Reifies a disjunction of literals into a single literal.
+    pub fn reify_disj(&mut self, lits: &[Lit]) -> Lit {
+        let neg: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        !self.reify_conj(&neg)
+    }
+
+    // ----------------------------------------------------------- affine / XOR
+
+    /// Reifies an XOR-affine form into a literal.
+    pub fn reify_affine(&mut self, a: &Affine) -> Lit {
+        let mut acc: Option<Lit> = None;
+        for v in a.vars() {
+            let l = self.lit_of(v);
+            acc = Some(match acc {
+                None => l,
+                Some(p) => self.tseitin_xor(p, l),
+            });
+        }
+        let base = match acc {
+            Some(l) => l,
+            None => !self.lit_true(), // constant-0 form so far
+        };
+        if a.constant_part() {
+            !base
+        } else {
+            base
+        }
+    }
+
+    /// Asserts `affine = value`.
+    pub fn assert_affine_eq(&mut self, a: &Affine, value: bool) {
+        let l = self.reify_affine(a);
+        self.solver.add_clause([if value { l } else { !l }]);
+    }
+
+    // ----------------------------------------------------------- cardinality
+
+    /// Builds a totalizer over `lits`: output `o[i]` is true iff at least
+    /// `i+1` of the inputs are true. Fully reified (both directions).
+    pub fn totalizer(&mut self, lits: &[Lit]) -> Vec<Lit> {
+        match lits.len() {
+            0 => Vec::new(),
+            1 => vec![lits[0]],
+            n => {
+                let (l, r) = lits.split_at(n / 2);
+                let a = self.totalizer(l);
+                let b = self.totalizer(r);
+                self.merge_totalizer(&a, &b)
+            }
+        }
+    }
+
+    fn merge_totalizer(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let p = a.len();
+        let q = b.len();
+        let out: Vec<Lit> = (0..p + q).map(|_| self.fresh_lit()).collect();
+        // Forward: a_i ∧ b_j  →  out_{i+j}   (1-indexed counts; a_0/b_0 = true)
+        for i in 0..=p {
+            for j in 0..=q {
+                if i + j == 0 {
+                    continue;
+                }
+                let mut clause = Vec::with_capacity(3);
+                if i > 0 {
+                    clause.push(!a[i - 1]);
+                }
+                if j > 0 {
+                    clause.push(!b[j - 1]);
+                }
+                clause.push(out[i + j - 1]);
+                self.solver.add_clause(clause);
+            }
+        }
+        // Backward: out_{i+j+1} → a_{i+1} ∨ b_{j+1}   (a_{p+1}/b_{q+1} = false)
+        for i in 0..=p {
+            for j in 0..=q {
+                if i + j + 1 > p + q {
+                    continue;
+                }
+                let mut clause = Vec::with_capacity(3);
+                clause.push(!out[i + j]);
+                if i < p {
+                    clause.push(a[i]);
+                }
+                if j < q {
+                    clause.push(b[j]);
+                }
+                self.solver.add_clause(clause);
+            }
+        }
+        out
+    }
+
+    /// Asserts `Σ lits <= k`.
+    pub fn assert_at_most(&mut self, lits: &[Lit], k: i64) {
+        if k < 0 {
+            let f = !self.lit_true();
+            self.solver.add_clause([f]);
+            return;
+        }
+        let k = k as usize;
+        if k >= lits.len() {
+            return;
+        }
+        let t = self.totalizer(lits);
+        self.solver.add_clause([!t[k]]);
+    }
+
+    /// Asserts `Σ lits >= k`.
+    pub fn assert_at_least(&mut self, lits: &[Lit], k: i64) {
+        if k <= 0 {
+            return;
+        }
+        let k = k as usize;
+        if k > lits.len() {
+            let f = !self.lit_true();
+            self.solver.add_clause([f]);
+            return;
+        }
+        let t = self.totalizer(lits);
+        self.solver.add_clause([t[k - 1]]);
+    }
+
+    /// Asserts `Σ lits == k`.
+    pub fn assert_exactly(&mut self, lits: &[Lit], k: i64) {
+        self.assert_at_most(lits, k);
+        self.assert_at_least(lits, k);
+    }
+
+    /// Asserts `Σ a + offset <= Σ b` (the minimum-weight decoder condition
+    /// `Σ corrections <= Σ errors` uses `offset == 0`).
+    pub fn assert_sum_le_sum(&mut self, a: &[Lit], b: &[Lit], offset: i64) {
+        let l = self.reify_sum_le_sum(a, b, offset);
+        self.solver.add_clause([l]);
+    }
+
+    /// Reified form of `Σ a + offset <= Σ b`.
+    pub fn reify_sum_le_sum(&mut self, a: &[Lit], b: &[Lit], offset: i64) -> Lit {
+        let ta = self.totalizer(a);
+        let tb = self.totalizer(b);
+        // Condition: for every count c >= 1:  (Σa >= c)  →  (Σb >= c + offset).
+        // With totalizers: ta[c-1] → tb[c+offset-1]; out-of-range tb index:
+        //  - c+offset <= 0: implication trivially true;
+        //  - c+offset > |b|: implication is ¬ta[c-1].
+        let mut conj: Vec<Lit> = Vec::new();
+        // Also when offset > 0 and a is empty: need Σb >= offset.
+        if offset > 0 {
+            if offset as usize > tb.len() {
+                let f = !self.lit_true();
+                conj.push(f);
+            } else {
+                conj.push(tb[offset as usize - 1]);
+            }
+        }
+        for c in 1..=ta.len() as i64 {
+            let rhs_idx = c + offset;
+            if rhs_idx <= 0 {
+                continue;
+            }
+            if rhs_idx as usize > tb.len() {
+                conj.push(!ta[c as usize - 1]);
+            } else {
+                let implication = self.tseitin_or(!ta[c as usize - 1], tb[rhs_idx as usize - 1]);
+                conj.push(implication);
+            }
+        }
+        self.reify_conj(&conj)
+    }
+
+    // -------------------------------------------------------- BExp encoding
+
+    /// Reifies an arbitrary boolean expression into a literal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] for integer subexpressions outside the linear
+    /// indicator fragment (products of variables, negative coefficients on
+    /// both sides after normalization are handled; genuinely nonlinear terms
+    /// are not).
+    pub fn reify(&mut self, e: &BExp) -> Result<Lit, EncodeError> {
+        match e {
+            BExp::Const(true) => Ok(self.lit_true()),
+            BExp::Const(false) => Ok(!self.lit_true()),
+            BExp::Var(v) => Ok(self.lit_of(*v)),
+            BExp::Not(a) => {
+                let l = self.reify(a)?;
+                Ok(self.tseitin_not(l))
+            }
+            BExp::And(a, b) => {
+                let la = self.reify(a)?;
+                let lb = self.reify(b)?;
+                Ok(self.tseitin_and(la, lb))
+            }
+            BExp::Or(a, b) => {
+                let la = self.reify(a)?;
+                let lb = self.reify(b)?;
+                Ok(self.tseitin_or(la, lb))
+            }
+            BExp::Implies(a, b) => {
+                let la = self.reify(a)?;
+                let lb = self.reify(b)?;
+                Ok(self.tseitin_or(!la, lb))
+            }
+            BExp::Xor(a, b) => {
+                let la = self.reify(a)?;
+                let lb = self.reify(b)?;
+                Ok(self.tseitin_xor(la, lb))
+            }
+            BExp::Le(a, b) => self.reify_linear_cmp(a, b, false),
+            BExp::Eq(a, b) => {
+                let le = self.reify_linear_cmp(a, b, false)?;
+                let ge = self.reify_linear_cmp(b, a, false)?;
+                Ok(self.tseitin_and(le, ge))
+            }
+        }
+    }
+
+    /// Reifies `a <= b` for linear integer expressions over boolean indicators.
+    fn reify_linear_cmp(&mut self, a: &IExp, b: &IExp, _strict: bool) -> Result<Lit, EncodeError> {
+        let (ta, ca) = a.linearize().ok_or_else(|| EncodeError {
+            message: format!("nonlinear integer expression: {a}"),
+        })?;
+        let (tb, cb) = b.linearize().ok_or_else(|| EncodeError {
+            message: format!("nonlinear integer expression: {b}"),
+        })?;
+        // Normalize: move negative-coefficient terms to the other side.
+        let mut lhs: Vec<Lit> = Vec::new();
+        let mut rhs: Vec<Lit> = Vec::new();
+        let expand = |terms: &[(VarId, i64)],
+                          pos_side: &mut Vec<Lit>,
+                          neg_side: &mut Vec<Lit>,
+                          me: &mut Self|
+         -> Result<(), EncodeError> {
+            for &(v, c) in terms {
+                let lit = me.lit_of(v);
+                let reps = c.unsigned_abs();
+                if reps > 64 {
+                    return Err(EncodeError {
+                        message: format!("coefficient {c} too large for unary encoding"),
+                    });
+                }
+                for _ in 0..reps {
+                    if c > 0 {
+                        pos_side.push(lit);
+                    } else {
+                        neg_side.push(lit);
+                    }
+                }
+            }
+            Ok(())
+        };
+        expand(&ta, &mut lhs, &mut rhs, self)?;
+        expand(&tb, &mut rhs, &mut lhs, self)?;
+        // lhs + ca <= rhs + cb   ⇔   Σ lhs + (ca - cb) <= Σ rhs
+        Ok(self.reify_sum_le_sum(&lhs, &rhs, ca - cb))
+    }
+
+    /// Asserts a boolean expression.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EncodeError`] from [`SmtContext::reify`].
+    pub fn assert(&mut self, e: &BExp) -> Result<(), EncodeError> {
+        let l = self.reify(e)?;
+        self.solver.add_clause([l]);
+        Ok(())
+    }
+
+    /// Asserts the negation of a boolean expression.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EncodeError`] from [`SmtContext::reify`].
+    pub fn assert_not(&mut self, e: &BExp) -> Result<(), EncodeError> {
+        let l = self.reify(e)?;
+        self.solver.add_clause([!l]);
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------- solving
+
+    /// Checks satisfiability under optional assumption literals.
+    pub fn check(&mut self, assumptions: &[Lit]) -> CheckResult {
+        match self.solver.solve(assumptions) {
+            SatResult::Sat => CheckResult::Sat,
+            SatResult::Unsat => CheckResult::Unsat,
+            SatResult::Unknown => CheckResult::Unknown,
+        }
+    }
+
+    /// Extracts the model restricted to classical variables seen so far.
+    ///
+    /// Call only after a [`CheckResult::Sat`] result; variables the solver
+    /// never saw default to `false`.
+    pub fn model(&self) -> CMem {
+        let mut m = CMem::new();
+        for &v in &self.tracked {
+            let sv = self.varmap[&v];
+            let val = self.solver.model_value(sv.positive()).unwrap_or(false);
+            m.set(v, Value::Bool(val));
+        }
+        m
+    }
+
+    /// Number of SAT variables allocated (classical + auxiliary).
+    pub fn num_sat_vars(&self) -> usize {
+        self.solver.num_vars()
+    }
+
+    /// Number of clauses in the underlying solver.
+    pub fn num_clauses(&self) -> usize {
+        self.solver.num_clauses()
+    }
+
+    /// Statistics of the underlying solver.
+    pub fn solver_stats(&self) -> veriqec_sat::SolverStats {
+        self.solver.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veriqec_cexpr::{VarRole, VarTable};
+
+    fn vars(n: usize) -> (VarTable, Vec<VarId>) {
+        let mut vt = VarTable::new();
+        let vs = (0..n)
+            .map(|i| vt.fresh_indexed("x", i, VarRole::Aux))
+            .collect();
+        (vt, vs)
+    }
+
+    #[test]
+    fn at_most_k_counts() {
+        for k in 0..=5i64 {
+            let (_, vs) = vars(5);
+            let mut ctx = SmtContext::new();
+            let lits: Vec<Lit> = vs.iter().map(|&v| ctx.lit_of(v)).collect();
+            ctx.assert_at_most(&lits, k);
+            ctx.assert_at_least(&lits, k); // force == k
+            assert!(ctx.check(&[]).is_sat(), "k={k}");
+            let m = ctx.model();
+            let count: i64 = vs.iter().map(|&v| m.get(v).as_int()).sum();
+            assert_eq!(count, k);
+        }
+    }
+
+    #[test]
+    fn at_least_more_than_n_is_unsat() {
+        let (_, vs) = vars(3);
+        let mut ctx = SmtContext::new();
+        let lits: Vec<Lit> = vs.iter().map(|&v| ctx.lit_of(v)).collect();
+        ctx.assert_at_least(&lits, 4);
+        assert!(ctx.check(&[]).is_unsat());
+    }
+
+    #[test]
+    fn weight_le_bexp_roundtrip() {
+        let (_, vs) = vars(6);
+        let mut ctx = SmtContext::new();
+        ctx.assert(&BExp::weight_le(vs.iter().copied(), 2)).unwrap();
+        ctx.assert(&BExp::var(vs[0])).unwrap();
+        ctx.assert(&BExp::var(vs[1])).unwrap();
+        ctx.assert(&BExp::var(vs[2])).unwrap();
+        assert!(ctx.check(&[]).is_unsat());
+    }
+
+    #[test]
+    fn sum_le_sum_decoder_condition() {
+        // Σ c <= Σ e with e having exactly one 1 forces Σ c <= 1.
+        let (_, all) = vars(6);
+        let (c, e) = all.split_at(3);
+        let mut ctx = SmtContext::new();
+        let cl: Vec<Lit> = c.iter().map(|&v| ctx.lit_of(v)).collect();
+        let el: Vec<Lit> = e.iter().map(|&v| ctx.lit_of(v)).collect();
+        ctx.assert_exactly(&el, 1);
+        ctx.assert_sum_le_sum(&cl, &el, 0);
+        ctx.assert_at_least(&cl, 2);
+        assert!(ctx.check(&[]).is_unsat());
+    }
+
+    #[test]
+    fn affine_equations_solve_parity() {
+        let (_, vs) = vars(3);
+        let mut ctx = SmtContext::new();
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, x0 ^ x2 = 1: odd cycle, unsat.
+        let mk = |a: VarId, b: VarId| Affine::var(a) ^ Affine::var(b);
+        ctx.assert_affine_eq(&mk(vs[0], vs[1]), true);
+        ctx.assert_affine_eq(&mk(vs[1], vs[2]), true);
+        ctx.assert_affine_eq(&mk(vs[0], vs[2]), true);
+        assert!(ctx.check(&[]).is_unsat());
+    }
+
+    #[test]
+    fn reified_comparison_under_negation() {
+        // ¬(Σ x <= 1) with 3 vars means Σ x >= 2.
+        let (_, vs) = vars(3);
+        let mut ctx = SmtContext::new();
+        ctx.assert_not(&BExp::weight_le(vs.iter().copied(), 1))
+            .unwrap();
+        assert!(ctx.check(&[]).is_sat());
+        let m = ctx.model();
+        let count: i64 = vs.iter().map(|&v| m.get(v).as_int()).sum();
+        assert!(count >= 2, "count={count}");
+    }
+
+    #[test]
+    fn eq_between_sums() {
+        let (_, all) = vars(4);
+        let (a, b) = all.split_at(2);
+        let mut ctx = SmtContext::new();
+        let ea = IExp::sum_vars(a.iter().copied());
+        let eb = IExp::sum_vars(b.iter().copied());
+        ctx.assert(&BExp::eq(ea, eb)).unwrap();
+        ctx.assert(&BExp::var(a[0])).unwrap();
+        ctx.assert(&BExp::var(a[1])).unwrap();
+        assert!(ctx.check(&[]).is_sat());
+        let m = ctx.model();
+        assert!(m.get(b[0]).as_bool() && m.get(b[1]).as_bool());
+    }
+
+    #[test]
+    fn nonlinear_is_rejected() {
+        let (_, vs) = vars(2);
+        let mut ctx = SmtContext::new();
+        let prod = IExp::Mul(
+            std::sync::Arc::new(IExp::var(vs[0])),
+            std::sync::Arc::new(IExp::var(vs[1])),
+        );
+        let e = BExp::eq(prod, IExp::constant(1));
+        assert!(ctx.assert(&e).is_err());
+    }
+
+    #[test]
+    fn model_respects_implications() {
+        let (_, vs) = vars(2);
+        let mut ctx = SmtContext::new();
+        ctx.assert(&BExp::implies(BExp::var(vs[0]), BExp::var(vs[1])))
+            .unwrap();
+        ctx.assert(&BExp::var(vs[0])).unwrap();
+        assert!(ctx.check(&[]).is_sat());
+        assert!(ctx.model().get(vs[1]).as_bool());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use veriqec_cexpr::{VarRole, VarTable};
+
+    fn vars(n: usize) -> Vec<VarId> {
+        let mut vt = VarTable::new();
+        (0..n).map(|i| vt.fresh_indexed("x", i, VarRole::Aux)).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn totalizer_counts_exactly(bits in proptest::collection::vec(any::<bool>(), 1..8)) {
+            // Force each input to a constant and read out the totalizer.
+            let vs = vars(bits.len());
+            let mut ctx = SmtContext::new();
+            let lits: Vec<Lit> = vs.iter().map(|&v| ctx.lit_of(v)).collect();
+            let outs = ctx.totalizer(&lits);
+            for (l, &b) in lits.iter().zip(&bits) {
+                ctx.add_clause([if b { *l } else { !*l }]);
+            }
+            prop_assert!(ctx.check(&[]).is_sat());
+            let count = bits.iter().filter(|&&b| b).count();
+            for (i, &o) in outs.iter().enumerate() {
+                // outs[i] <=> at least i+1 inputs true
+                let expected = count >= i + 1;
+                let mut probe = ctx.clone();
+                probe.add_clause([if expected { o } else { !o }]);
+                prop_assert!(probe.check(&[]).is_sat(), "totalizer bit {i}");
+                let mut refute = ctx.clone();
+                refute.add_clause([if expected { !o } else { o }]);
+                prop_assert!(refute.check(&[]).is_unsat(), "totalizer bit {i} refute");
+            }
+        }
+
+        #[test]
+        fn sum_le_sum_matches_arithmetic(
+            a_bits in proptest::collection::vec(any::<bool>(), 1..6),
+            b_bits in proptest::collection::vec(any::<bool>(), 1..6),
+            offset in -3i64..4,
+        ) {
+            let vs = vars(a_bits.len() + b_bits.len());
+            let (av, bv) = vs.split_at(a_bits.len());
+            let mut ctx = SmtContext::new();
+            let al: Vec<Lit> = av.iter().map(|&v| ctx.lit_of(v)).collect();
+            let bl: Vec<Lit> = bv.iter().map(|&v| ctx.lit_of(v)).collect();
+            let cmp = ctx.reify_sum_le_sum(&al, &bl, offset);
+            for (l, &bit) in al.iter().zip(&a_bits).chain(bl.iter().zip(&b_bits)) {
+                ctx.add_clause([if bit { *l } else { !*l }]);
+            }
+            let sa = a_bits.iter().filter(|&&x| x).count() as i64;
+            let sb = b_bits.iter().filter(|&&x| x).count() as i64;
+            let expected = sa + offset <= sb;
+            ctx.add_clause([if expected { cmp } else { !cmp }]);
+            prop_assert!(ctx.check(&[]).is_sat());
+            // And the negation must be refuted.
+            let mut ctx2 = SmtContext::new();
+            let al: Vec<Lit> = av.iter().map(|&v| ctx2.lit_of(v)).collect();
+            let bl: Vec<Lit> = bv.iter().map(|&v| ctx2.lit_of(v)).collect();
+            let cmp = ctx2.reify_sum_le_sum(&al, &bl, offset);
+            for (l, &bit) in al.iter().zip(&a_bits).chain(bl.iter().zip(&b_bits)) {
+                ctx2.add_clause([if bit { *l } else { !*l }]);
+            }
+            ctx2.add_clause([if expected { !cmp } else { cmp }]);
+            prop_assert!(ctx2.check(&[]).is_unsat());
+        }
+
+        #[test]
+        fn bexp_encoding_matches_evaluation(
+            bits in proptest::collection::vec(any::<bool>(), 4),
+            k in 0i64..5,
+        ) {
+            // weight_le under a full assignment must match direct evaluation.
+            use veriqec_cexpr::{BExp, CMem, Value};
+            let vs = vars(4);
+            let e = BExp::weight_le(vs.iter().copied(), k);
+            let mut m = CMem::new();
+            for (&v, &b) in vs.iter().zip(&bits) {
+                m.set(v, Value::Bool(b));
+            }
+            let expected = e.eval(&m);
+            let mut ctx = SmtContext::new();
+            let l = ctx.reify(&e).unwrap();
+            for (&v, &b) in vs.iter().zip(&bits) {
+                let lv = ctx.lit_of(v);
+                ctx.add_clause([if b { lv } else { !lv }]);
+            }
+            ctx.add_clause([if expected { l } else { !l }]);
+            prop_assert!(ctx.check(&[]).is_sat());
+        }
+    }
+}

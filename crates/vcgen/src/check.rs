@@ -1,0 +1,191 @@
+//! Discharging reduced verification conditions with the SAT/SMT substrate.
+//!
+//! The paper's quantified SMT query `∀e ∃s …` (Eqn. 14) is decided here by a
+//! single *refutation* query — see `DESIGN.md` §1 for the soundness argument:
+//! syndromes are determined by errors, and the minimum-weight decoder
+//! predicate `P_f` is always satisfiable (`c := e` is a witness), so the VC
+//! is valid iff
+//!
+//! ```text
+//!   P_c(e) ∧ guards(s,c,e) ∧ P_f(c,s,e) ∧ (⋁_j target_j ≠ 0)
+//! ```
+//!
+//! is unsatisfiable.
+
+use veriqec_cexpr::{BExp, CMem};
+use veriqec_decoder::MinWeightSpec;
+use veriqec_sat::SolverConfig;
+use veriqec_smt::{CheckResult, SmtContext};
+
+use crate::ReducedVc;
+
+/// Outcome of a verification query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VcOutcome {
+    /// The condition holds for every error configuration.
+    Verified,
+    /// A violating assignment (errors, syndromes, corrections) was found.
+    CounterExample(CMem),
+    /// Budget exhausted.
+    Unknown,
+}
+
+impl VcOutcome {
+    /// True for [`VcOutcome::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, VcOutcome::Verified)
+    }
+}
+
+/// Statistics of a discharge run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VcStats {
+    /// SAT variables in the encoded query.
+    pub sat_vars: usize,
+    /// CNF clauses in the encoded query.
+    pub clauses: usize,
+    /// Conflicts spent by the solver.
+    pub conflicts: u64,
+}
+
+/// A fully assembled verification problem.
+#[derive(Clone, Debug)]
+pub struct VcProblem {
+    /// The reduced condition.
+    pub vc: ReducedVc,
+    /// Error-model constraints `P_c` (e.g. `Σe ≤ ⌊(d−1)/2⌋`, locality,
+    /// discreteness).
+    pub error_constraints: Vec<BExp>,
+    /// Decoder specifications `P_f` (one per decoder call / CSS sector).
+    pub decoder_specs: Vec<MinWeightSpec>,
+}
+
+impl VcProblem {
+    /// Encodes and discharges the problem. `config` tunes the underlying
+    /// CDCL solver (used by the ablation benchmarks).
+    pub fn check_with_config(&self, config: SolverConfig) -> (VcOutcome, VcStats) {
+        let mut ctx = SmtContext::with_config(config);
+        self.assert_base(&mut ctx);
+        // Refutation goal: some target is violated.
+        let viol: Vec<_> = self
+            .vc
+            .targets
+            .iter()
+            .map(|t| ctx.reify_affine(t))
+            .collect();
+        if viol.is_empty() {
+            return (
+                VcOutcome::Verified,
+                VcStats {
+                    sat_vars: ctx.num_sat_vars(),
+                    clauses: ctx.num_clauses(),
+                    conflicts: 0,
+                },
+            );
+        }
+        ctx.add_clause(viol);
+        let outcome = match ctx.check(&[]) {
+            CheckResult::Unsat => VcOutcome::Verified,
+            CheckResult::Sat => VcOutcome::CounterExample(ctx.model()),
+            CheckResult::Unknown => VcOutcome::Unknown,
+        };
+        let stats = VcStats {
+            sat_vars: ctx.num_sat_vars(),
+            clauses: ctx.num_clauses(),
+            conflicts: ctx.solver_stats().conflicts,
+        };
+        (outcome, stats)
+    }
+
+    /// Discharges with the default solver configuration.
+    pub fn check(&self) -> (VcOutcome, VcStats) {
+        self.check_with_config(SolverConfig::default())
+    }
+
+    /// Asserts `P_c`, guards and `P_f` (everything except the refutation
+    /// goal) into a context — shared by the parallel driver, which adds
+    /// enumeration assumptions on top.
+    pub fn assert_base(&self, ctx: &mut SmtContext) {
+        for b in &self.error_constraints {
+            ctx.assert(b).expect("error constraints are in the fragment");
+        }
+        for b in &self.vc.classical {
+            ctx.assert(b).expect("classical side conditions encodable");
+        }
+        for g in &self.vc.guards {
+            ctx.assert_affine_eq(g, false);
+        }
+        for spec in &self.decoder_specs {
+            spec.assert_into(ctx);
+        }
+    }
+
+    /// Builds the refutation goal literal in `ctx` (disjunction of violated
+    /// targets); `None` when there are no targets (trivially verified).
+    pub fn goal_lit(&self, ctx: &mut SmtContext) -> Option<veriqec_sat::Lit> {
+        if self.vc.targets.is_empty() {
+            return None;
+        }
+        let viol: Vec<_> = self
+            .vc
+            .targets
+            .iter()
+            .map(|t| ctx.reify_affine(t))
+            .collect();
+        Some(ctx.reify_disj(&viol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veriqec_cexpr::{Affine, VarRole, VarTable};
+
+    #[test]
+    fn empty_targets_verify() {
+        let problem = VcProblem {
+            vc: ReducedVc {
+                or_vars: vec![],
+                guards: vec![],
+                targets: vec![],
+                classical: vec![],
+            },
+            error_constraints: vec![],
+            decoder_specs: vec![],
+        };
+        assert!(problem.check().0.is_verified());
+    }
+
+    #[test]
+    fn violated_constant_target_gives_counterexample() {
+        let problem = VcProblem {
+            vc: ReducedVc {
+                or_vars: vec![],
+                guards: vec![],
+                targets: vec![Affine::one()],
+                classical: vec![],
+            },
+            error_constraints: vec![],
+            decoder_specs: vec![],
+        };
+        assert!(matches!(problem.check().0, VcOutcome::CounterExample(_)));
+    }
+
+    #[test]
+    fn guarded_target_can_verify() {
+        // Target e, but P_c forces e = 0.
+        let mut vt = VarTable::new();
+        let e = vt.fresh("e", VarRole::Error);
+        let problem = VcProblem {
+            vc: ReducedVc {
+                or_vars: vec![],
+                guards: vec![],
+                targets: vec![Affine::var(e)],
+                classical: vec![],
+            },
+            error_constraints: vec![BExp::not(BExp::var(e))],
+            decoder_specs: vec![],
+        };
+        assert!(problem.check().0.is_verified());
+    }
+}

@@ -1,0 +1,18 @@
+//! Verification-condition generation and reduction (§5 of the paper).
+//!
+//! * [`reduce_commuting`] — cases 1–2: decompose right-hand conjuncts over
+//!   the left-hand generating set (Prop. 5.2), yielding classical GF(2)
+//!   phase equations;
+//! * [`VcProblem`] / [`VcOutcome`] — assembly with the error model `P_c` and
+//!   decoder specification `P_f`, discharged by one SAT refutation query;
+//! * [`verify_nonpauli`] — case 3: the heuristic elimination of
+//!   non-commuting conjuncts for fixed-location `T`/`H` errors (§5.2.2).
+
+mod check;
+mod nonpauli;
+mod reduce;
+mod smtlib;
+
+pub use check::{VcOutcome, VcProblem, VcStats};
+pub use nonpauli::{verify_nonpauli, NonPauliError, NonPauliOutcome};
+pub use reduce::{reduce_commuting, ReduceError, ReducedVc};

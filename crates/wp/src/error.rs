@@ -1,0 +1,54 @@
+//! Errors of the weakest-precondition engines.
+
+use std::fmt;
+
+/// Why a precondition could not be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WpError {
+    /// `while` loops have no syntactic weakest precondition (Theorem A.11
+    /// covers only loop-free programs); use the (While) rule with a manual
+    /// invariant instead.
+    WhileUnsupported,
+    /// The statement is outside the engine's fragment.
+    Unsupported {
+        /// Description of the offending statement.
+        what: String,
+    },
+    /// A substitution required an XOR-affine right-hand side but got a
+    /// general boolean expression occurring inside a Pauli phase.
+    NonAffineSubstitution {
+        /// The variable being substituted.
+        var: String,
+    },
+    /// A conditional non-Pauli gate had a non-constant guard (the heuristic
+    /// pipeline of §5.2.2 handles fixed error locations only).
+    SymbolicNonPauliError,
+    /// A measurement variable was bound twice.
+    DuplicateMeasurementVariable {
+        /// The variable name/id.
+        var: String,
+    },
+}
+
+impl fmt::Display for WpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WpError::WhileUnsupported => {
+                write!(f, "while-loops need a user-supplied invariant (rule While)")
+            }
+            WpError::Unsupported { what } => write!(f, "unsupported statement: {what}"),
+            WpError::NonAffineSubstitution { var } => {
+                write!(f, "non-affine substitution into Pauli phase for `{var}`")
+            }
+            WpError::SymbolicNonPauliError => write!(
+                f,
+                "conditional non-Pauli gates require constant guards (fixed error locations)"
+            ),
+            WpError::DuplicateMeasurementVariable { var } => {
+                write!(f, "measurement variable `{var}` bound twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WpError {}

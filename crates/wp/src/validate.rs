@@ -1,0 +1,121 @@
+//! Semantic validation of Hoare triples by exhaustive execution — the
+//! executable counterpart of the paper's Coq soundness theorem (Thm. 4.3).
+
+use veriqec_cexpr::{CMem, Value, VarId};
+use veriqec_logic::Assertion;
+use veriqec_prog::{run_all_branches, DecoderOracle, Stmt};
+use veriqec_qsim::DenseState;
+
+/// Checks `⊨ {pre} stmt {post}` (partial correctness, Def. 4.1) semantically:
+/// for every assignment of the classical `vars` and every basis state of
+/// `⟦pre⟧_m`, all measurement branches of the execution satisfy `post`.
+///
+/// Exhaustive in `2^|vars|` and the subspace dimension — validation-scale
+/// only.
+///
+/// # Panics
+///
+/// Panics if `vars` has more than 16 entries.
+pub fn triple_holds<O: DecoderOracle>(
+    pre: &Assertion,
+    stmt: &Stmt,
+    post: &Assertion,
+    vars: &[VarId],
+    num_qubits: usize,
+    oracle: &O,
+) -> bool {
+    assert!(vars.len() <= 16, "too many classical variables");
+    for bits in 0u32..1 << vars.len() {
+        let mut m = CMem::new();
+        for (i, &v) in vars.iter().enumerate() {
+            m.set(v, Value::Bool((bits >> i) & 1 == 1));
+        }
+        let sub = pre.denote(&m, num_qubits);
+        // Check each basis vector and one uniform superposition.
+        let mut candidates: Vec<Vec<veriqec_qsim::C64>> =
+            sub.basis().iter().cloned().collect();
+        if sub.dim() > 1 {
+            let mut mix = vec![veriqec_qsim::C64::zero(); 1 << num_qubits];
+            for b in sub.basis() {
+                for (m, x) in mix.iter_mut().zip(b) {
+                    *m += *x;
+                }
+            }
+            candidates.push(mix);
+        }
+        for v in candidates {
+            let mut st = DenseState::from_amplitudes(v);
+            if st.norm_sqr() < 1e-12 {
+                continue;
+            }
+            st.normalize();
+            let branches = run_all_branches(stmt, m.clone(), st, oracle);
+            for (m2, out) in branches {
+                if out.norm_sqr() < 1e-9 {
+                    continue;
+                }
+                let mut out = out;
+                out.normalize();
+                if !post.satisfied_by(&m2, &out) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veriqec_cexpr::{BExp, VarRole, VarTable};
+    use veriqec_pauli::{Gate1, PauliString, SymPauli};
+    use veriqec_prog::NoDecoders;
+
+    fn atom(s: &str) -> Assertion {
+        Assertion::pauli(SymPauli::plain(PauliString::from_letters(s).unwrap()))
+    }
+
+    #[test]
+    fn correct_triple_validates() {
+        // {X} q *= H {Z}.
+        assert!(triple_holds(
+            &atom("X"),
+            &Stmt::Gate1(Gate1::H, 0),
+            &atom("Z"),
+            &[],
+            1,
+            &NoDecoders,
+        ));
+    }
+
+    #[test]
+    fn incorrect_triple_fails() {
+        // {X} q *= H {X} is wrong.
+        assert!(!triple_holds(
+            &atom("X"),
+            &Stmt::Gate1(Gate1::H, 0),
+            &atom("X"),
+            &[],
+            1,
+            &NoDecoders,
+        ));
+    }
+
+    #[test]
+    fn eqn_6_correction_triple() {
+        // {X1} b := meas[Z2]; if b then q2 *= X {X1 ∧ Z2}  (Eqn. 6).
+        let mut vt = VarTable::new();
+        let b = vt.fresh("b", VarRole::Syndrome);
+        let prog = Stmt::seq([
+            Stmt::Meas(b, SymPauli::plain(PauliString::from_letters("IZ").unwrap())),
+            Stmt::If(
+                BExp::var(b),
+                Box::new(Stmt::Gate1(Gate1::X, 1)),
+                Box::new(Stmt::Skip),
+            ),
+        ]);
+        let post = Assertion::and(atom("XI"), atom("IZ"));
+        assert!(triple_holds(&atom("XI"), &prog, &post, &[b], 2, &NoDecoders));
+    }
+}

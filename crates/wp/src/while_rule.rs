@@ -1,0 +1,123 @@
+//! The (While) proof rule with user-supplied invariants.
+//!
+//! Loops have no syntactic weakest precondition in the assertion language
+//! (the paper proves only *weak* definability, Theorem A.11, and leaves
+//! completeness for loops open). The rule itself is still usable:
+//!
+//! ```text
+//!        ⊢ {b ∧ A} S {A}
+//!  ─────────────────────────────     (While)
+//!  ⊢ {A} while b do S end {¬b ∧ A}
+//! ```
+//!
+//! [`check_while`] discharges the premise with the loop-free wp engine and
+//! semantic entailment, returning the conclusion's pre/postcondition pair.
+
+use veriqec_cexpr::{BExp, VarId};
+use veriqec_logic::{entails, Assertion};
+use veriqec_prog::Stmt;
+
+use crate::{wp_loopfree, WpError};
+
+/// A checked instance of the (While) rule.
+#[derive(Clone, Debug)]
+pub struct WhileTriple {
+    /// The invariant `A` (= the precondition of the loop).
+    pub invariant: Assertion,
+    /// The conclusion's postcondition `¬b ∧ A`.
+    pub post: Assertion,
+}
+
+/// Checks the premise `⊢ {b ∧ A} S {A}` of the (While) rule for a candidate
+/// invariant, by computing `wp(S, A)` and checking `b ∧ A ⊨ wp(S, A)`
+/// semantically over the given classical variables and qubit count.
+///
+/// On success returns the triple `{A} while b do S end {¬b ∧ A}`.
+///
+/// # Errors
+///
+/// Returns [`WpError`] when the body is itself outside the loop-free
+/// fragment, or [`WpError::Unsupported`] when the invariant fails.
+pub fn check_while(
+    guard: &BExp,
+    body: &Stmt,
+    invariant: &Assertion,
+    vars: &[VarId],
+    num_qubits: usize,
+) -> Result<WhileTriple, WpError> {
+    let body_pre = wp_loopfree(body, invariant)?;
+    let premise_lhs = Assertion::and(
+        Assertion::boolean(guard.clone()),
+        invariant.clone(),
+    );
+    if !entails(&premise_lhs, &body_pre, vars, num_qubits) {
+        return Err(WpError::Unsupported {
+            what: "invariant is not preserved by the loop body".into(),
+        });
+    }
+    Ok(WhileTriple {
+        invariant: invariant.clone(),
+        post: Assertion::and(
+            Assertion::boolean(BExp::not(guard.clone())),
+            invariant.clone(),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veriqec_cexpr::{VarRole, VarTable};
+    use veriqec_pauli::{Gate1, PauliString, SymPauli};
+    use veriqec_prog::NoDecoders;
+    use veriqec_wp::triple_holds;
+
+    use crate as veriqec_wp;
+
+    fn atom(s: &str) -> Assertion {
+        Assertion::pauli(SymPauli::plain(PauliString::from_letters(s).unwrap()))
+    }
+
+    #[test]
+    fn while_rule_with_flag_guard() {
+        // while x do q *= X; x := false end
+        // Invariant: (x ∧ −Z) ∨ (¬x ∧ Z): "if the flag is set the qubit is
+        // flipped, otherwise it is |0⟩". Conclusion post: ¬x ∧ A ⊨ Z.
+        let mut vt = VarTable::new();
+        let x = vt.fresh("x", VarRole::Aux);
+        let body = Stmt::seq([
+            Stmt::Gate1(Gate1::X, 0),
+            Stmt::Assign(x, BExp::ff()),
+        ]);
+        let guard = BExp::var(x);
+        let inv = Assertion::or(
+            Assertion::and(Assertion::boolean(guard.clone()), atom("-Z")),
+            Assertion::and(Assertion::boolean(BExp::not(guard.clone())), atom("Z")),
+        );
+        let triple = check_while(&guard, &body, &inv, &[x], 1).expect("invariant holds");
+        // The conclusion implies the qubit ends in |0⟩.
+        assert!(entails(&triple.post, &atom("Z"), &[x], 1));
+        // And the full loop triple is semantically valid.
+        let whole = Stmt::While(guard.clone(), Box::new(body));
+        assert!(triple_holds(
+            &triple.invariant,
+            &whole,
+            &triple.post,
+            &[x],
+            1,
+            &NoDecoders
+        ));
+    }
+
+    #[test]
+    fn bad_invariant_is_rejected() {
+        // Invariant Z is NOT preserved by a body that flips the qubit and
+        // leaves the guard true-able.
+        let mut vt = VarTable::new();
+        let x = vt.fresh("x", VarRole::Aux);
+        let body = Stmt::Gate1(Gate1::X, 0);
+        let guard = BExp::var(x);
+        let err = check_while(&guard, &body, &atom("Z"), &[x], 1).unwrap_err();
+        assert!(matches!(err, WpError::Unsupported { .. }));
+    }
+}

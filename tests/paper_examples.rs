@@ -1,0 +1,208 @@
+//! The paper's worked examples, end to end — including from concrete syntax.
+
+use veriqec_cexpr::{Affine, BExp, VarRole};
+use veriqec_logic::{entails, Assertion, QecAssertion};
+use veriqec_pauli::{ExtPauli, PauliString, SymPauli};
+use veriqec_prog::{parse_program, Stmt};
+use veriqec_vcgen::{reduce_commuting, VcProblem};
+use veriqec_wp::{qec_wp, triple_holds, wp_loopfree};
+
+fn atom(s: &str) -> Assertion {
+    Assertion::pauli(SymPauli::plain(PauliString::from_letters(s).unwrap()))
+}
+
+/// Eqn. 6: `{X1} b := meas[Z2]; if b then q2 *= X {X1 ∧ Z2}` — semantically,
+/// and via the generic wp engine, and via Example 3.3's quantum-∨ argument.
+#[test]
+fn eqn6_and_example_3_3() {
+    let prog = parse_program("b := meas[Z[1]]; if b then q[1] *= X else skip end").unwrap();
+    let b = prog.vars.lookup("b").unwrap();
+    let post = Assertion::and(atom("XI"), atom("IZ"));
+    // Semantic validity.
+    assert!(triple_holds(
+        &atom("XI"),
+        &prog.stmt,
+        &post,
+        &[b],
+        2,
+        &veriqec_prog::NoDecoders
+    ));
+    // The generic wp is exactly X1 (the quantum ∨ collapses the branches).
+    let pre = wp_loopfree(&prog.stmt, &post).unwrap();
+    assert!(entails(&pre, &atom("XI"), &[b], 2));
+    assert!(entails(&atom("XI"), &pre, &[b], 2));
+}
+
+/// Example 4.2: the repetition-code correction loop from concrete syntax,
+/// through the scalable engine, gives the paper's precondition phases.
+#[test]
+fn example_4_2_from_concrete_syntax() {
+    let prog = parse_program(
+        "[x[0]] q[0] *= X; [x[1]] q[1] *= X; [x[2]] q[2] *= X",
+    )
+    .unwrap();
+    let x: Vec<_> = (0..3)
+        .map(|i| prog.vars.lookup(&format!("x_{i}")).unwrap())
+        .collect();
+    let mut vt = prog.vars.clone();
+    let b = vt.fresh("b", VarRole::Param);
+    let post = QecAssertion::from_conjuncts(
+        3,
+        vec![
+            ExtPauli::from_sym(SymPauli::plain(PauliString::from_letters("ZZI").unwrap())),
+            ExtPauli::from_sym(SymPauli::plain(PauliString::from_letters("IZZ").unwrap())),
+            ExtPauli::from_sym(SymPauli::new(
+                PauliString::from_letters("ZII").unwrap(),
+                Affine::var(b),
+            )),
+        ],
+    );
+    let wp = qec_wp(&prog.stmt, post).unwrap();
+    // Expected: (−1)^{x1+x2} Z1Z2 ∧ (−1)^{x2+x3} Z2Z3 ∧ (−1)^{b+x1} Z1.
+    let phases: Vec<Affine> = wp
+        .pre
+        .conjuncts
+        .iter()
+        .map(|c| c.as_single().unwrap().phase().clone())
+        .collect();
+    assert_eq!(phases[0], Affine::var(x[0]) ^ Affine::var(x[1]));
+    assert_eq!(phases[1], Affine::var(x[1]) ^ Affine::var(x[2]));
+    assert_eq!(phases[2], Affine::var(b) ^ Affine::var(x[0]));
+}
+
+/// The full Table-1 `Steane(Y, H)` program written in the concrete syntax,
+/// wp'd and reduced, discharged with the decoder specification — Eqn. 2.
+#[test]
+fn steane_table1_program_from_text() {
+    let src = "
+        for i in 0..7 do [ep[i]] q[i] *= Y end;
+        for i in 0..7 do q[i] *= H end;
+        for i in 0..7 do [e[i]] q[i] *= Y end;
+        s[0] := meas[X[0]*X[2]*X[4]*X[6]];
+        s[1] := meas[X[1]*X[2]*X[5]*X[6]];
+        s[2] := meas[X[3]*X[4]*X[5]*X[6]];
+        s[3] := meas[Z[0]*Z[2]*Z[4]*Z[6]];
+        s[4] := meas[Z[1]*Z[2]*Z[5]*Z[6]];
+        s[5] := meas[Z[3]*Z[4]*Z[5]*Z[6]];
+        (z[0], z[1], z[2], z[3], z[4], z[5], z[6]) := decode_z(s[0], s[1], s[2]);
+        (x[0], x[1], x[2], x[3], x[4], x[5], x[6]) := decode_x(s[3], s[4], s[5]);
+        for i in 0..7 do [x[i]] q[i] *= X end;
+        for i in 0..7 do [z[i]] q[i] *= Z end
+    ";
+    let prog = parse_program(src).unwrap();
+    assert_eq!(prog.num_qubits, 7);
+    let mut vt = prog.vars.clone();
+    let b = vt.fresh("b", VarRole::Param);
+    // Postcondition: generators + (−1)^b Z̄ (the |0⟩_L family).
+    let code = veriqec_codes::steane();
+    let mut conjuncts: Vec<ExtPauli> = code
+        .generators()
+        .iter()
+        .cloned()
+        .map(ExtPauli::from_sym)
+        .collect();
+    conjuncts.push(ExtPauli::from_sym(SymPauli::new(
+        code.logical_z()[0].pauli().clone(),
+        Affine::var(b),
+    )));
+    let post = QecAssertion::from_conjuncts(7, conjuncts);
+    let wp = qec_wp(&prog.stmt, post).unwrap();
+    // LHS: generators + (−1)^b X̄ (|+⟩_L before the logical H).
+    let mut lhs = code.generators().to_vec();
+    lhs.push(SymPauli::new(
+        code.logical_x()[0].pauli().clone(),
+        Affine::var(b),
+    ));
+    let mut vc = reduce_commuting(&lhs, &wp.pre).unwrap();
+    vc.resolve_branches();
+    // Assemble P_c and P_f by hand (the scenario builder does this for its
+    // own programs; here we exercise the parsed program path).
+    let evars: Vec<_> = (0..7)
+        .flat_map(|i| {
+            [
+                prog.vars.lookup(&format!("e_{i}")).unwrap(),
+                prog.vars.lookup(&format!("ep_{i}")).unwrap(),
+            ]
+        })
+        .collect();
+    let hx = code.css_hx().unwrap();
+    let hz = code.css_hz().unwrap();
+    let zc: Vec<_> = (0..7)
+        .map(|i| prog.vars.lookup(&format!("z_{i}")).unwrap())
+        .collect();
+    let xc: Vec<_> = (0..7)
+        .map(|i| prog.vars.lookup(&format!("x_{i}")).unwrap())
+        .collect();
+    let sx: Vec<_> = (0..3)
+        .map(|i| prog.vars.lookup(&format!("s_{i}")).unwrap())
+        .collect();
+    let sz: Vec<_> = (3..6)
+        .map(|i| prog.vars.lookup(&format!("s_{i}")).unwrap())
+        .collect();
+    let spec_z = veriqec_decoder::MinWeightSpec {
+        checks: hx
+            .iter()
+            .map(|row| row.iter_ones().map(|q| zc[q]).collect())
+            .collect(),
+        syndromes: sx,
+        corrections: zc,
+        errors: evars.clone(),
+    };
+    let spec_x = veriqec_decoder::MinWeightSpec {
+        checks: hz
+            .iter()
+            .map(|row| row.iter_ones().map(|q| xc[q]).collect())
+            .collect(),
+        syndromes: sz,
+        corrections: xc,
+        errors: evars.clone(),
+    };
+    let problem = VcProblem {
+        vc,
+        error_constraints: vec![BExp::weight_le(evars.iter().copied(), 1)],
+        decoder_specs: vec![spec_z, spec_x],
+    };
+    let (outcome, _) = problem.check();
+    assert!(outcome.is_verified(), "Eqn. 2 must verify: {outcome:?}");
+}
+
+/// Adequacy in the other basis: the same program also maps `(−1)^b X̄`-type
+/// inputs correctly (footnote 1 of the paper).
+#[test]
+fn steane_memory_verifies_in_both_bases() {
+    use veriqec::scenario::{memory_scenario, ErrorModel};
+    use veriqec::tasks::build_problem;
+    let code = veriqec_codes::steane();
+    // The scenario builder uses the Z basis; check the X basis by rebuilding
+    // with use_x_basis = true via the logical-H trick: a memory cycle is
+    // basis-symmetric for the self-dual Steane code, so verifying Z-basis
+    // (done elsewhere) plus the X-basis here covers all logical states.
+    let scenario = memory_scenario(&code, ErrorModel::YErrors);
+    // Flip the basis by hand: swap the logical conjunct for X̄.
+    let mut s = scenario.clone();
+    let lx = code.logical_x()[0].clone();
+    let b = s.params[0];
+    let n = s.num_qubits;
+    s.lhs[6] = SymPauli::new(lx.pauli().clone(), Affine::var(b));
+    let mut conj = s.post.conjuncts.clone();
+    conj[6] = ExtPauli::from_sym(SymPauli::new(lx.pauli().clone(), Affine::var(b)));
+    s.post = QecAssertion::from_conjuncts(n, conj);
+    let problem = build_problem(&s, 1, vec![]);
+    let (outcome, _) = problem.check();
+    assert!(outcome.is_verified());
+}
+
+/// While-loops are rejected by wp (Theorem A.11's scope) but run fine in the
+/// interpreter — the documented division of labour.
+#[test]
+fn while_loop_division_of_labour() {
+    let prog = parse_program("x := true; while x do x := false end").unwrap();
+    assert!(!prog.stmt.is_loop_free());
+    assert!(matches!(
+        wp_loopfree(&prog.stmt, &Assertion::top()),
+        Err(veriqec_wp::WpError::WhileUnsupported)
+    ));
+    // But a loop-free body still works after manual unrolling (If).
+    let unrolled = Stmt::seq([prog.stmt.flatten()[0].clone()]);
+    assert!(wp_loopfree(&unrolled, &Assertion::top()).is_ok());
+}
