@@ -20,12 +20,7 @@ fn bench_fig7(c: &mut Criterion) {
             let cs = cs.clone();
             group.bench_function(format!("{name}_d{d}"), |b| {
                 b.iter(|| {
-                    let r = verify_constrained(
-                        &scenario,
-                        t,
-                        cs.clone(),
-                        SolverConfig::default(),
-                    );
+                    let r = verify_constrained(&scenario, t, cs.clone(), SolverConfig::default());
                     assert!(r.outcome.is_verified());
                 })
             });

@@ -158,7 +158,11 @@ fn table3() {
             );
         }
     }
-    for code in [cube_color_822(), pair_detection_code(7, 5, 5), pair_detection_code(10, 4, 4)] {
+    for code in [
+        cube_color_822(),
+        pair_detection_code(7, 5, 5),
+        pair_detection_code(10, 4, 4),
+    ] {
         let t0 = Instant::now();
         let out = verify_detection(&code, 2, SolverConfig::default());
         assert_eq!(out, DetectionOutcome::AllDetected);
@@ -177,9 +181,15 @@ fn table4() {
     println!("| scenario | supported | regenerated by |");
     println!("|----------|-----------|----------------|");
     for (name, target) in [
-        ("error-free logical ops (L̄)", "scenario::ScenarioBuilder::logical_*"),
+        (
+            "error-free logical ops (L̄)",
+            "scenario::ScenarioBuilder::logical_*",
+        ),
         ("logical-free (E M C)", "scenario::memory_scenario"),
-        ("error in correction (L̄ M C_E)", "scenario::correction_fault_scenario"),
+        (
+            "error in correction (L̄ M C_E)",
+            "scenario::correction_fault_scenario",
+        ),
         ("one cycle (E L̄ E M C)", "scenario::logical_h_scenario"),
         ("multi cycle", "scenario::multi_cycle_scenario"),
         ("general verification (C)", "tasks::verify_correction"),

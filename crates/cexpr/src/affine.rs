@@ -135,9 +135,11 @@ impl Affine {
 
     /// Converts to a general boolean expression (an XOR chain).
     pub fn to_bexp(&self) -> BExp {
-        self.vars.iter().fold(BExp::Const(self.constant), |acc, &v| {
-            BExp::xor(acc, BExp::var(v))
-        })
+        self.vars
+            .iter()
+            .fold(BExp::Const(self.constant), |acc, &v| {
+                BExp::xor(acc, BExp::var(v))
+            })
     }
 }
 

@@ -1,6 +1,6 @@
 //! Boolean and integer expression ASTs (Appendix A.1 of the paper).
 
-use crate::{CMem, VarId, Value};
+use crate::{CMem, Value, VarId};
 use std::fmt;
 use std::sync::Arc as Rc;
 
@@ -203,6 +203,11 @@ impl BExp {
     }
 
     /// Logical negation (with constant folding).
+    ///
+    /// An associated constructor (`BExp::not(a)`), not a method — `Not` is
+    /// deliberately not implemented because all `BExp` combinators take
+    /// operands by value.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: BExp) -> Self {
         match a {
             BExp::Const(c) => BExp::Const(!c),
@@ -522,12 +527,7 @@ mod tests {
     #[test]
     fn linearize_sums() {
         let (_, a, b, _) = setup();
-        let e = IExp::sum([
-            IExp::var(a),
-            IExp::var(b),
-            IExp::var(a),
-            IExp::constant(4),
-        ]);
+        let e = IExp::sum([IExp::var(a), IExp::var(b), IExp::var(a), IExp::constant(4)]);
         let (terms, c) = e.linearize().unwrap();
         assert_eq!(c, 4);
         assert_eq!(terms, vec![(a, 2), (b, 1)]);

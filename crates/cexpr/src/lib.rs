@@ -42,13 +42,17 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_affine() -> impl Strategy<Value = Affine> {
-        (any::<bool>(), proptest::collection::btree_set(0u32..8, 0..5)).prop_map(|(c, vars)| {
-            let mut a = Affine::constant(c);
-            for v in vars {
-                a.xor_var(VarId(v));
-            }
-            a
-        })
+        (
+            any::<bool>(),
+            proptest::collection::btree_set(0u32..8, 0..5),
+        )
+            .prop_map(|(c, vars)| {
+                let mut a = Affine::constant(c);
+                for v in vars {
+                    a.xor_var(VarId(v));
+                }
+                a
+            })
     }
 
     fn arb_mem() -> impl Strategy<Value = CMem> {

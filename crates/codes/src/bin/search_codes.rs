@@ -45,7 +45,10 @@ fn main() {
 
     if what == "all" || what == "dodeca115" {
         println!("hill-climbing [[11,1,5]] ...");
-        let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0x115);
+        let seed: u64 = std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x115);
         let mut rng = StdRng::seed_from_u64(seed);
         match veriqec_codes::search::hill_climb_distance(11, 1, 5, 400, 3000, &mut rng) {
             Some(code) => {

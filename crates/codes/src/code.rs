@@ -162,18 +162,17 @@ impl StabilizerCode {
                         message: format!("X̄_{i} / Z̄_{j} commutation pattern wrong"),
                     });
                 }
-                if i != j {
-                    if self.logical_x[i]
+                if i != j
+                    && (self.logical_x[i]
                         .pauli()
                         .anticommutes_with(self.logical_x[j].pauli())
                         || self.logical_z[i]
                             .pauli()
-                            .anticommutes_with(self.logical_z[j].pauli())
-                    {
-                        return Err(CodeValidationError {
-                            message: format!("logicals {i}/{j} of equal type anticommute"),
-                        });
-                    }
+                            .anticommutes_with(self.logical_z[j].pauli()))
+                {
+                    return Err(CodeValidationError {
+                        message: format!("logicals {i}/{j} of equal type anticommute"),
+                    });
                 }
             }
         }

@@ -14,12 +14,7 @@ use crate::StabilizerCode;
 
 /// Lifts a Pauli letter on outer qubit `b` to the inner block `b`, using the
 /// inner code's logical representatives.
-fn lift_letter(
-    letter: char,
-    block: usize,
-    inner: &StabilizerCode,
-    n_total: usize,
-) -> PauliString {
+fn lift_letter(letter: char, block: usize, inner: &StabilizerCode, n_total: usize) -> PauliString {
     let base = block * inner.n();
     let rep = |p: &PauliString| -> PauliString {
         let mut x = BitVec::zeros(n_total);
@@ -60,8 +55,16 @@ fn lift_letter(
 /// Panics when either code has `k ≠ 1` or a lifted operator fails to be a
 /// valid stabilizer (cannot happen for well-formed inputs).
 pub fn concatenate(outer: &StabilizerCode, inner: &StabilizerCode) -> StabilizerCode {
-    assert_eq!(outer.k(), 1, "concatenation implemented for k = 1 outer codes");
-    assert_eq!(inner.k(), 1, "concatenation implemented for k = 1 inner codes");
+    assert_eq!(
+        outer.k(),
+        1,
+        "concatenation implemented for k = 1 outer codes"
+    );
+    assert_eq!(
+        inner.k(),
+        1,
+        "concatenation implemented for k = 1 inner codes"
+    );
     let n_total = outer.n() * inner.n();
     let mut gens: Vec<SymPauli> = Vec::new();
     // Inner generators on every block.
@@ -79,11 +82,7 @@ pub fn concatenate(outer: &StabilizerCode, inner: &StabilizerCode) -> Stabilizer
                 }
             }
             let y = x.anded(&z).weight();
-            gens.push(SymPauli::plain(PauliString::from_bits(
-                x,
-                z,
-                (y % 4) as u8,
-            )));
+            gens.push(SymPauli::plain(PauliString::from_bits(x, z, (y % 4) as u8)));
         }
     }
     // Outer generators lifted through the inner logicals.

@@ -45,11 +45,7 @@ pub fn css_code(
             }
         }
     }
-    let gens: Vec<SymPauli> = hx
-        .iter()
-        .map(x_type)
-        .chain(hz.iter().map(z_type))
-        .collect();
+    let gens: Vec<SymPauli> = hx.iter().map(x_type).chain(hz.iter().map(z_type)).collect();
     let group = StabilizerGroup::new(gens).map_err(|e| CodeValidationError {
         message: format!("invalid stabilizer group: {e}"),
     })?;

@@ -97,7 +97,12 @@ pub fn hamming_7_4() -> BitMatrix {
 /// The hypergraph product of the `[7,4,3]` Hamming code with itself:
 /// `[[58, 16, 3]]` — the scaled instance of Table 3's hypergraph-product row.
 pub fn hgp_hamming() -> StabilizerCode {
-    hypergraph_product("HGP(Hamming 7_4) [[58,16,3]]", &hamming_7_4(), &hamming_7_4(), Some(3))
+    hypergraph_product(
+        "HGP(Hamming 7_4) [[58,16,3]]",
+        &hamming_7_4(),
+        &hamming_7_4(),
+        Some(3),
+    )
 }
 
 #[cfg(test)]

@@ -18,7 +18,10 @@ use veriqec_pauli::{conj1, Gate1, StabilizerGroup, SymPauli};
 ///
 /// Panics unless `d` is odd and `d ≥ 3`.
 pub fn rotated_surface(d: usize) -> StabilizerCode {
-    assert!(d >= 3 && d % 2 == 1, "rotated surface code needs odd d >= 3");
+    assert!(
+        d >= 3 && d % 2 == 1,
+        "rotated surface code needs odd d >= 3"
+    );
     let n = d * d;
     let qubit = |r: usize, c: usize| r * d + c;
     let mut x_rows: Vec<BitVec> = Vec::new();
@@ -62,8 +65,14 @@ pub fn rotated_surface(d: usize) -> StabilizerCode {
     let mut code = css_code(format!("rotated surface d={d}"), &hx, &hz, Some(d))
         .expect("valid rotated surface code");
     // Replace completed logicals with the canonical string operators.
-    let lx = crate::css::x_type(&BitVec::from_ones(n, &(0..d).map(|r| qubit(r, 0)).collect::<Vec<_>>()));
-    let lz = crate::css::z_type(&BitVec::from_ones(n, &(0..d).map(|c| qubit(0, c)).collect::<Vec<_>>()));
+    let lx = crate::css::x_type(&BitVec::from_ones(
+        n,
+        &(0..d).map(|r| qubit(r, 0)).collect::<Vec<_>>(),
+    ));
+    let lz = crate::css::z_type(&BitVec::from_ones(
+        n,
+        &(0..d).map(|c| qubit(0, c)).collect::<Vec<_>>(),
+    ));
     code = StabilizerCode::new(
         format!("rotated surface d={d}"),
         code.group().clone(),

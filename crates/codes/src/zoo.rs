@@ -82,9 +82,7 @@ pub fn shor9() -> StabilizerCode {
 /// Calderbank–Rains–Shor–Sloane is a different (but equivalent-parameter)
 /// code — see `DESIGN.md` on substitutions.
 pub fn six_qubit() -> StabilizerCode {
-    let group = gens_from_letters(&[
-        "XZZXII", "IXZZXI", "XIXZZI", "ZXIXZI", "IIIIIZ",
-    ]);
+    let group = gens_from_letters(&["XZZXII", "IXZZXI", "XIXZZI", "ZXIXZI", "IIIIIZ"]);
     let lx = SymPauli::plain(PauliString::from_letters("XXXXXI").unwrap());
     let lz = SymPauli::plain(PauliString::from_letters("ZZZZZI").unwrap());
     StabilizerCode::new("six-qubit [[6,1,3]]", group, vec![lx], vec![lz], Some(3))
@@ -93,9 +91,7 @@ pub fn six_qubit() -> StabilizerCode {
 /// Gottesman's `[[8,3,3]]` code (the `r = 3` member of the
 /// `[[2^r, 2^r − r − 2, 3]]` family of Table 3).
 pub fn gottesman8() -> StabilizerCode {
-    let group = gens_from_letters(&[
-        "XXXXXXXX", "ZZZZZZZZ", "IXIXYZYZ", "IXZYIXZY", "IYXZXZIY",
-    ]);
+    let group = gens_from_letters(&["XXXXXXXX", "ZZZZZZZZ", "IXIXYZYZ", "IXZYIXZY", "IYXZXZIY"]);
     StabilizerCode::with_completed_logicals("Gottesman [[8,3,3]]", group, Some(3))
 }
 
@@ -118,9 +114,8 @@ pub fn cube_color_822() -> StabilizerCode {
         }
         SymPauli::plain(PauliString::from_bits(v, BitVec::zeros(n), 0))
     };
-    let zf = |bits: [usize; 4]| {
-        SymPauli::plain(PauliString::from_bits(BitVec::zeros(n), face(bits), 0))
-    };
+    let zf =
+        |bits: [usize; 4]| SymPauli::plain(PauliString::from_bits(BitVec::zeros(n), face(bits), 0));
     let gens = vec![
         x_all,
         zf([0, 1, 2, 3]), // x = 0 face

@@ -38,7 +38,7 @@ pub use scenario::{
     ScenarioBuilder,
 };
 pub use tasks::{
-    build_problem, discreteness_constraint, find_distance, locality_constraint,
-    verify_code_memory, verify_constrained, verify_correction, verify_detection,
-    verify_nonpauli_memory, DetectionOutcome, VerificationReport,
+    build_problem, discreteness_constraint, find_distance, locality_constraint, verify_code_memory,
+    verify_constrained, verify_correction, verify_detection, verify_nonpauli_memory,
+    DetectionOutcome, VerificationReport,
 };

@@ -57,10 +57,7 @@ pub struct ParallelReport {
 ///
 /// Each subtask is a partial assignment (as assumption literals); the union
 /// of subtasks covers the full space, mirroring Appendix D.4.
-pub fn split_subtasks(
-    enum_vars: &[VarId],
-    config: &ParallelConfig,
-) -> Vec<Vec<(VarId, bool)>> {
+pub fn split_subtasks(enum_vars: &[VarId], config: &ParallelConfig) -> Vec<Vec<(VarId, bool)>> {
     let mut out = Vec::new();
     let mut stack: Vec<Vec<(VarId, bool)>> = vec![vec![]];
     while let Some(partial) = stack.pop() {
@@ -176,10 +173,7 @@ mod tests {
         };
         let tasks = split_subtasks(&vars, &cfg);
         // Coverage: total weight of the partial-assignment cylinders is 1.
-        let total: f64 = tasks
-            .iter()
-            .map(|t| 1.0 / (1u64 << t.len()) as f64)
-            .sum();
+        let total: f64 = tasks.iter().map(|t| 1.0 / (1u64 << t.len()) as f64).sum();
         assert!((total - 1.0).abs() < 1e-12, "cylinders must partition");
         assert!(tasks.len() > 1);
     }

@@ -88,6 +88,7 @@ fn prepare_stabilizer_state<R: Rng>(scenario: &Scenario, rng: &mut R) -> Tableau
     use veriqec_gf2::{BitMatrix, BitVec};
     let n = scenario.num_qubits;
     let m = CMem::new(); // params default to 0
+
     // Symplectic matrix with swapped halves: row_j · v = ⟨lhs_j, v⟩.
     let swapped = BitMatrix::from_rows(
         scenario

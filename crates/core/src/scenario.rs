@@ -134,9 +134,7 @@ impl ScenarioBuilder {
         let n = self.num_qubits();
         for (gate, family) in model.gates() {
             for q in 0..n {
-                let v = self
-                    .vt
-                    .fresh(&format!("{tag}{family}_{q}"), VarRole::Error);
+                let v = self.vt.fresh(&format!("{tag}{family}_{q}"), VarRole::Error);
                 self.error_vars.push(v);
                 self.stmts.push(Stmt::CondGate1(BExp::var(v), *gate, q));
             }
@@ -331,10 +329,9 @@ impl ScenarioBuilder {
         for (q, &v) in vars.iter().enumerate() {
             if faulty {
                 // A fault flips the applied correction: [c ⊕ f] q *= P.
-                let f = self.vt.fresh(
-                    &format!("f{cyc}b{block}{gate}_{q}"),
-                    VarRole::Error,
-                );
+                let f = self
+                    .vt
+                    .fresh(&format!("f{cyc}b{block}{gate}_{q}"), VarRole::Error);
                 self.error_vars.push(f);
                 self.stmts.push(Stmt::CondGate1(
                     BExp::xor(BExp::var(v), BExp::var(f)),
@@ -495,7 +492,10 @@ pub fn cnot_propagation_scenario(code: &StabilizerCode, model: ErrorModel) -> Sc
     for blk in 0..2 {
         b.correction_round(blk, false);
     }
-    b.finish(format!("{} CNOT with propagated errors", code.name()), false)
+    b.finish(
+        format!("{} CNOT with propagated errors", code.name()),
+        false,
+    )
 }
 
 /// A memory scenario with one *fixed* non-Pauli error (`T` or `H`) injected

@@ -174,7 +174,11 @@ pub enum DetectionOutcome {
 
 /// Precise detection (Eqn. 15): does an undetected logical error of weight
 /// `< dt` exist? `AllDetected` confirms distance `≥ dt`.
-pub fn verify_detection(code: &StabilizerCode, dt: usize, config: SolverConfig) -> DetectionOutcome {
+pub fn verify_detection(
+    code: &StabilizerCode,
+    dt: usize,
+    config: SolverConfig,
+) -> DetectionOutcome {
     let n = code.n();
     let mut vt = VarTable::new();
     let ex: Vec<VarId> = (0..n)
@@ -271,7 +275,7 @@ pub fn verify_nonpauli_memory(
         .expect("fixed-error scenarios stay in the QEC fragment");
     let decoder = veriqec_decoder::CssLookupDecoder::for_code(
         code,
-        usize::from(code.claimed_distance().unwrap_or(3) / 2).max(1),
+        (code.claimed_distance().unwrap_or(3) / 2).max(1),
     );
     let oracle = veriqec_decoder::decode_call_oracle(decoder, code.n());
     verify_nonpauli(&scenario.lhs, &wp, &oracle, &scenario.params)
@@ -313,7 +317,11 @@ mod tests {
             DetectionOutcome::AllDetected
         );
         let out = verify_detection(&code, 4, SolverConfig::default());
-        let DetectionOutcome::UndetectedLogical { x_support, z_support } = out else {
+        let DetectionOutcome::UndetectedLogical {
+            x_support,
+            z_support,
+        } = out
+        else {
             panic!("distance-3 code has a weight-3 logical");
         };
         assert_eq!(

@@ -59,7 +59,11 @@ fn steane_ghz_preparation() {
 
 #[test]
 fn steane_x_and_z_error_models() {
-    for model in [ErrorModel::XErrors, ErrorModel::ZErrors, ErrorModel::Depolarizing] {
+    for model in [
+        ErrorModel::XErrors,
+        ErrorModel::ZErrors,
+        ErrorModel::Depolarizing,
+    ] {
         let s = memory_scenario(&steane(), model);
         let report = verify_correction(&s, 1, SolverConfig::default());
         assert!(

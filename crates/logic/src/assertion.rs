@@ -54,6 +54,10 @@ impl Assertion {
     }
 
     /// Negation.
+    ///
+    /// An associated constructor (`Assertion::not(a)`), matching the other
+    /// by-value combinators; `std::ops::Not` is intentionally unimplemented.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Assertion) -> Self {
         Assertion::Not(Rc::new(a))
     }
@@ -232,7 +236,10 @@ pub fn entails(a: &Assertion, b: &Assertion, vars: &[VarId], num_qubits: usize) 
         for (i, &v) in vars.iter().enumerate() {
             m.set(v, veriqec_cexpr::Value::Bool((bits >> i) & 1 == 1));
         }
-        if !a.denote(&m, num_qubits).is_subspace_of(&b.denote(&m, num_qubits)) {
+        if !a
+            .denote(&m, num_qubits)
+            .is_subspace_of(&b.denote(&m, num_qubits))
+        {
             return false;
         }
     }
@@ -315,10 +322,7 @@ mod tests {
     fn subst_classical_hits_phases() {
         let mut vt = veriqec_cexpr::VarTable::new();
         let x = vt.fresh("x", veriqec_cexpr::VarRole::Correction);
-        let g = SymPauli::new(
-            PauliString::from_letters("ZZ").unwrap(),
-            Affine::var(x),
-        );
+        let g = SymPauli::new(PauliString::from_letters("ZZ").unwrap(), Affine::var(x));
         let a = Assertion::pauli(g);
         let a0 = a.subst_classical(x, &BExp::ff());
         let a1 = a.subst_classical(x, &BExp::tt());
@@ -342,12 +346,7 @@ mod tests {
         let z0 = atom("ZI");
         let zz = atom("ZZ");
         let c = Assertion::and(z0.clone(), zz.clone());
-        assert!(entails(
-            &Assertion::and(z0.clone(), zz.clone()),
-            &c,
-            &[],
-            2
-        ));
+        assert!(entails(&Assertion::and(z0.clone(), zz.clone()), &c, &[], 2));
         assert!(entails(&z0, &Assertion::implies(zz, c), &[], 2));
     }
 }

@@ -331,10 +331,16 @@ mod tests {
         // (U-iSWAP): X_i → Z_i Y_j, Y_i → −Z_i X_j, Z_i → Z_j,
         //            X_j → Y_i Z_j, Y_j → −X_i Z_j, Z_j → Z_i.
         assert_eq!(conj2(Gate2::ISwap, 0, 1, &sp("XI"), true).to_string(), "ZY");
-        assert_eq!(conj2(Gate2::ISwap, 0, 1, &sp("YI"), true).to_string(), "-ZX");
+        assert_eq!(
+            conj2(Gate2::ISwap, 0, 1, &sp("YI"), true).to_string(),
+            "-ZX"
+        );
         assert_eq!(conj2(Gate2::ISwap, 0, 1, &sp("ZI"), true).to_string(), "IZ");
         assert_eq!(conj2(Gate2::ISwap, 0, 1, &sp("IX"), true).to_string(), "YZ");
-        assert_eq!(conj2(Gate2::ISwap, 0, 1, &sp("IY"), true).to_string(), "-XZ");
+        assert_eq!(
+            conj2(Gate2::ISwap, 0, 1, &sp("IY"), true).to_string(),
+            "-XZ"
+        );
         assert_eq!(conj2(Gate2::ISwap, 0, 1, &sp("IZ"), true).to_string(), "ZI");
     }
 
@@ -369,7 +375,10 @@ mod tests {
         let q = conj2(Gate2::Cnot, 0, 1, &p, true);
         assert_eq!(q.pauli().to_string(), "YY");
         assert!(q.phase().contains(v));
-        assert!(q.phase().constant_part(), "sign of −YY folds into the phase");
+        assert!(
+            q.phase().constant_part(),
+            "sign of −YY folds into the phase"
+        );
         // A sign-free case keeps the phase exactly.
         let p2 = SymPauli::new(PauliString::from_letters("XX").unwrap(), Affine::var(v));
         let q2 = conj2(Gate2::Cnot, 0, 1, &p2, true);

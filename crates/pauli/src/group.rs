@@ -82,7 +82,7 @@ impl StabilizerGroup {
             }
         }
         let m = BitMatrix::from_rows(gens.iter().map(|g| g.pauli().symplectic_row()).collect());
-        if gens.len() > 0 && m.rank() != gens.len() {
+        if !gens.is_empty() && m.rank() != gens.len() {
             return Err(StabilizerGroupError::Dependent);
         }
         Ok(StabilizerGroup { gens, n })
@@ -121,11 +121,7 @@ impl StabilizerGroup {
     /// Syndrome of a Pauli error: bit `i` is set iff the error anticommutes
     /// with generator `i`.
     pub fn syndrome_of(&self, error: &PauliString) -> BitVec {
-        BitVec::from_bools(
-            self.gens
-                .iter()
-                .map(|g| g.pauli().anticommutes_with(error)),
-        )
+        BitVec::from_bools(self.gens.iter().map(|g| g.pauli().anticommutes_with(error)))
     }
 
     /// True when `error` commutes with every generator (undetected).
@@ -181,6 +177,7 @@ impl StabilizerGroup {
                 .collect(),
         );
         let centralizer = swapped.nullspace(); // dim = 2n − (n−k) = n + k
+
         // Extend the stabilizer rows to a basis of the centralizer.
         let mut basis = check.clone();
         let mut extension: Vec<BitVec> = Vec::new();
@@ -192,7 +189,11 @@ impl StabilizerGroup {
                 extension.push(v);
             }
         }
-        assert_eq!(extension.len(), 2 * k, "centralizer extension has wrong size");
+        assert_eq!(
+            extension.len(),
+            2 * k,
+            "centralizer extension has wrong size"
+        );
 
         let anticommutes = |u: &BitVec, v: &BitVec| -> bool {
             let ux = u.slice(0, n);
@@ -302,9 +303,7 @@ mod tests {
     #[test]
     fn decompose_product_of_generators() {
         let g = StabilizerGroup::new(steane_generators()).unwrap();
-        let target = g.generators()[0]
-            .pauli()
-            .mul(g.generators()[2].pauli());
+        let target = g.generators()[0].pauli().mul(g.generators()[2].pauli());
         let (idx, prod) = g.decompose(&target).unwrap();
         assert_eq!(idx, vec![0, 2]);
         assert_eq!(prod.pauli(), &target.unsigned());

@@ -314,12 +314,7 @@ mod tests {
     fn parse_display_roundtrip() {
         for s in ["XIYZ", "-XZ", "iYY", "-iZXI", "III"] {
             let p = PauliString::from_letters(s).unwrap();
-            let canonical = if s.starts_with(['X', 'Y', 'Z', 'I']) {
-                s.to_string()
-            } else {
-                s.to_string()
-            };
-            assert_eq!(p.to_string(), canonical);
+            assert_eq!(p.to_string(), s);
         }
     }
 

@@ -224,10 +224,7 @@ mod tests {
         let prog = Program::new(
             Stmt::seq([
                 Stmt::CondGate1(BExp::var(e), Gate1::X, 0),
-                Stmt::Meas(
-                    s,
-                    SymPauli::plain(PauliString::from_letters("ZZ").unwrap()),
-                ),
+                Stmt::Meas(s, SymPauli::plain(PauliString::from_letters("ZZ").unwrap())),
             ]),
             2,
             vt,

@@ -280,8 +280,7 @@ mod tests {
             Stmt::Gate1(Gate1::H, 0),
             Stmt::Meas(x, SymPauli::plain(ps("Z"))),
         ]);
-        let branches =
-            run_all_branches(&prog, CMem::new(), DenseState::zero_state(1), &NoDecoders);
+        let branches = run_all_branches(&prog, CMem::new(), DenseState::zero_state(1), &NoDecoders);
         assert_eq!(branches.len(), 2);
         let probs: Vec<f64> = branches.iter().map(|(_, st)| st.norm_sqr()).collect();
         assert!((probs[0] - 0.5).abs() < 1e-9 && (probs[1] - 0.5).abs() < 1e-9);
@@ -359,19 +358,10 @@ mod tests {
             Stmt::Meas(s0, SymPauli::plain(ps("ZZI"))),
             Stmt::Meas(s1, SymPauli::plain(ps("IZZ"))),
             // Correct qubit 1 iff both syndromes fire.
-            Stmt::CondGate1(
-                BExp::and(BExp::var(s0), BExp::var(s1)),
-                Gate1::X,
-                1,
-            ),
+            Stmt::CondGate1(BExp::and(BExp::var(s0), BExp::var(s1)), Gate1::X, 1),
         ]);
         // Dense path.
-        let branches = run_all_branches(
-            &prog,
-            CMem::new(),
-            DenseState::zero_state(3),
-            &NoDecoders,
-        );
+        let branches = run_all_branches(&prog, CMem::new(), DenseState::zero_state(3), &NoDecoders);
         assert_eq!(branches.len(), 1); // deterministic syndromes
         let (m, st) = &branches[0];
         assert!(m.get(s0).as_bool() && m.get(s1).as_bool());

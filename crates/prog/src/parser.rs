@@ -43,16 +43,16 @@ impl std::error::Error for ParseProgramError {}
 enum Tok {
     Ident(String),
     Int(i64),
-    Assign,   // :=
+    Assign,    // :=
     MulAssign, // *=
-    Semi,     // ; or #
+    Semi,      // ; or #
     LBracket,
     RBracket,
     LParen,
     RParen,
     Comma,
     DotDot,
-    Ket0,   // |0>
+    Ket0, // |0>
     EqEq,
     Le,
     AndAnd,
@@ -481,9 +481,7 @@ impl Parser<'_> {
             while self.peek() == Some(&Tok::Semi) {
                 self.pos += 1;
             }
-            if self.pos >= self.toks.len()
-                || terminators.iter().any(|t| self.at_ident(t))
-            {
+            if self.pos >= self.toks.len() || terminators.iter().any(|t| self.at_ident(t)) {
                 break;
             }
             stmts.push(self.stmt()?);
@@ -799,10 +797,8 @@ mod tests {
 
     #[test]
     fn parse_gates_and_loops() {
-        let p = parse_program(
-            "for i in 0..3 do q[i] *= H end; q[0], q[1] *= CNOT; q[2] := |0>",
-        )
-        .unwrap();
+        let p = parse_program("for i in 0..3 do q[i] *= H end; q[0], q[1] *= CNOT; q[2] := |0>")
+            .unwrap();
         assert_eq!(p.num_qubits, 3);
         let flat = p.stmt.flatten();
         assert_eq!(flat.len(), 5);
@@ -813,10 +809,8 @@ mod tests {
 
     #[test]
     fn parse_conditional_errors_and_meas() {
-        let p = parse_program(
-            "for i in 0..2 do [e[i]] q[i] *= Y end # s[0] := meas[Z[0]*Z[1]]",
-        )
-        .unwrap();
+        let p = parse_program("for i in 0..2 do [e[i]] q[i] *= Y end # s[0] := meas[Z[0]*Z[1]]")
+            .unwrap();
         assert_eq!(p.num_qubits, 2);
         assert!(p.vars.lookup("e_0").is_some());
         assert!(p.vars.lookup("s_0").is_some());

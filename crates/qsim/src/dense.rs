@@ -243,7 +243,10 @@ pub fn gate1_matrix(gate: Gate1) -> [[C64; 2]; 2] {
     let z = C64::zero();
     let i = C64::i();
     let h = C64::real(std::f64::consts::FRAC_1_SQRT_2);
-    let t = C64::new(std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2);
+    let t = C64::new(
+        std::f64::consts::FRAC_1_SQRT_2,
+        std::f64::consts::FRAC_1_SQRT_2,
+    );
     match gate {
         Gate1::X => [[z, o], [o, z]],
         Gate1::Y => [[z, -i], [i, z]],
@@ -262,31 +265,11 @@ pub fn gate2_matrix(gate: Gate2) -> [[C64; 4]; 4] {
     let z = C64::zero();
     let i = C64::i();
     match gate {
-        Gate2::Cnot => [
-            [o, z, z, z],
-            [z, o, z, z],
-            [z, z, z, o],
-            [z, z, o, z],
-        ],
-        Gate2::Cz => [
-            [o, z, z, z],
-            [z, o, z, z],
-            [z, z, o, z],
-            [z, z, z, -o],
-        ],
+        Gate2::Cnot => [[o, z, z, z], [z, o, z, z], [z, z, z, o], [z, z, o, z]],
+        Gate2::Cz => [[o, z, z, z], [z, o, z, z], [z, z, o, z], [z, z, z, -o]],
         // Matches the paper's iSWAP matrix (§2.1): off-diagonal −i entries.
-        Gate2::ISwap => [
-            [o, z, z, z],
-            [z, z, -i, z],
-            [z, -i, z, z],
-            [z, z, z, o],
-        ],
-        Gate2::ISwapDg => [
-            [o, z, z, z],
-            [z, z, i, z],
-            [z, i, z, z],
-            [z, z, z, o],
-        ],
+        Gate2::ISwap => [[o, z, z, z], [z, z, -i, z], [z, -i, z, z], [z, z, z, o]],
+        Gate2::ISwapDg => [[o, z, z, z], [z, z, i, z], [z, i, z, z], [z, z, z, o]],
     }
 }
 
@@ -300,8 +283,8 @@ pub fn pauli_matrix(p: &PauliString) -> Vec<Vec<C64>> {
         st.amps = vec![C64::zero(); dim];
         st.amps[col] = C64::one();
         st.apply_pauli(p);
-        for (row, &amp) in st.amps.iter().enumerate() {
-            m[row][col] = amp;
+        for (row_vec, &amp) in m.iter_mut().zip(st.amps.iter()) {
+            row_vec[col] = amp;
         }
     }
     m
@@ -378,7 +361,10 @@ mod tests {
         st.apply_gate2(Gate2::Cnot, 0, 1);
         st.apply_gate2(Gate2::Cnot, 1, 2);
         for s in ["XXX", "ZZI", "IZZ"] {
-            assert!(st.is_stabilized_by(&PauliString::from_letters(s).unwrap()), "{s}");
+            assert!(
+                st.is_stabilized_by(&PauliString::from_letters(s).unwrap()),
+                "{s}"
+            );
         }
     }
 }

@@ -8,8 +8,8 @@
 //! samples — this is what makes testing fast and is the honest baseline for
 //! the paper's §7.2 comparison.
 
-use veriqec_pauli::{conj1, conj2, Gate1, Gate2, PauliString, SymPauli};
 use veriqec_cexpr::Affine;
+use veriqec_pauli::{conj1, conj2, Gate1, Gate2, PauliString, SymPauli};
 
 /// One step of a compiled Clifford reference circuit.
 #[derive(Clone, Debug)]

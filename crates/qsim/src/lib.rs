@@ -157,7 +157,10 @@ mod conjugation_validation {
                     assert!(mat_close(&got, &expect), "gate {gate:?} ({i},{j}) on {p}");
                     let got_f = sym_matrix(&conj2(gate, i, j, &sp, false));
                     let expect_f = mat_mul(&mat_mul(&u, &pauli_matrix(&p)), &udg);
-                    assert!(mat_close(&got_f, &expect_f), "fwd {gate:?} ({i},{j}) on {p}");
+                    assert!(
+                        mat_close(&got_f, &expect_f),
+                        "fwd {gate:?} ({i},{j}) on {p}"
+                    );
                 }
             }
         }
@@ -225,7 +228,9 @@ mod conjugation_validation {
                         while j == i {
                             j = rng.gen_range(0..n);
                         }
-                        let g = *[Gate2::Cnot, Gate2::Cz, Gate2::ISwap].choose(&mut rng).unwrap();
+                        let g = *[Gate2::Cnot, Gate2::Cz, Gate2::ISwap]
+                            .choose(&mut rng)
+                            .unwrap();
                         tab.apply_gate2(g, i, j);
                         dense.apply_gate2(g, i, j);
                     }

@@ -166,9 +166,7 @@ impl Subspace {
 
     /// Commutativity of subspaces: `S C T` iff `S = (S∧T) ∨ (S∧T⊥)`.
     pub fn commutes_with(&self, other: &Subspace) -> bool {
-        let rebuilt = self
-            .meet(other)
-            .join(&self.meet(&other.complement()));
+        let rebuilt = self.meet(other).join(&self.meet(&other.complement()));
         self.equals(&rebuilt)
     }
 
@@ -234,10 +232,12 @@ impl Subspace {
         }
         // Kernel of A = (M−I): v ⊥ every row of A†A... simpler: v in kernel
         // iff v ⊥ all conjugated rows of A. Row i of A is (A e_i-th component):
-        for i in 0..dim {
-            let row: Vec<C64> = (0..dim).map(|j| columns[j][i].conj()).collect();
-            rows.push(row);
-        }
+        rows.extend((0..dim).map(|i| {
+            columns
+                .iter()
+                .map(|column| column[i].conj())
+                .collect::<Vec<C64>>()
+        }));
         // kernel(A) = (row space of conj(A))⊥.
         Subspace::span(dim, &rows).complement()
     }
@@ -360,9 +360,8 @@ mod proptests {
         proptest::collection::vec((letters, any::<bool>()), 1..3).prop_map(|parts| {
             let mut acc: Option<Subspace> = None;
             for (s, join) in parts {
-                let e = Subspace::pauli_plus_eigenspace(
-                    &PauliString::from_letters(s).expect("valid"),
-                );
+                let e =
+                    Subspace::pauli_plus_eigenspace(&PauliString::from_letters(s).expect("valid"));
                 acc = Some(match acc {
                     None => e,
                     Some(a) => {

@@ -6,8 +6,8 @@
 //! Clifford circuits, but only *tests* one error configuration per run, which
 //! is exactly why verification is needed.
 
-use veriqec_pauli::{conj1, conj2, Gate1, Gate2, PauliString, SymPauli};
 use veriqec_cexpr::Affine;
+use veriqec_pauli::{conj1, conj2, Gate1, Gate2, PauliString, SymPauli};
 
 /// A stabilizer state of `n` qubits as a CHP-style tableau.
 ///
@@ -144,7 +144,9 @@ impl Tableau {
                 p.unsigned(),
                 "deterministic measurement must reproduce P up to sign"
             );
-            let acc_sign = acc.hermitian_sign().expect("stabilizer product is Hermitian");
+            let acc_sign = acc
+                .hermitian_sign()
+                .expect("stabilizer product is Hermitian");
             let p_sign = p.hermitian_sign().expect("checked above");
             acc_sign != p_sign
         }

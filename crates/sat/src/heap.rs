@@ -118,7 +118,9 @@ mod tests {
         for v in 0..4 {
             h.insert(Var(v), &act);
         }
-        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&act)).map(|v| v.0).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&act))
+            .map(|v| v.0)
+            .collect();
         assert_eq!(order, vec![1, 3, 2, 0]);
     }
 

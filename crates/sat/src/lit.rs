@@ -80,7 +80,12 @@ impl std::ops::Not for Lit {
 
 impl fmt::Debug for Lit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{}", if self.is_positive() { "" } else { "~" }, self.0 >> 1)
+        write!(
+            f,
+            "{}x{}",
+            if self.is_positive() { "" } else { "~" },
+            self.0 >> 1
+        )
     }
 }
 

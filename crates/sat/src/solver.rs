@@ -447,9 +447,9 @@ impl Solver {
         let Some(r) = self.reason[l.var().index()] else {
             return false;
         };
-        self.clauses[r.0 as usize].lits[1..].iter().all(|&q| {
-            self.seen[q.var().index()] || self.level[q.var().index()] == 0
-        })
+        self.clauses[r.0 as usize].lits[1..]
+            .iter()
+            .all(|&q| self.seen[q.var().index()] || self.level[q.var().index()] == 0)
     }
 
     fn backtrack_to(&mut self, level: u32) {
@@ -498,11 +498,7 @@ impl Solver {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let locked: Vec<Option<ClauseRef>> = self.reason.clone();
-        let is_locked = |cref: usize| {
-            locked
-                .iter()
-                .any(|r| r.map(|c| c.0 as usize) == Some(cref))
-        };
+        let is_locked = |cref: usize| locked.iter().any(|r| r.map(|c| c.0 as usize) == Some(cref));
         let remove_count = learnt_refs.len() / 2;
         for &idx in learnt_refs.iter().take(remove_count) {
             if self.clauses[idx].lits.len() > 2 && !is_locked(idx) {
@@ -789,10 +785,9 @@ mod tests {
                 .collect();
             // Brute-force reference.
             let brute_sat = (0..1u32 << n).any(|bits| {
-                clauses.iter().all(|c| {
-                    c.iter()
-                        .any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos)
-                })
+                clauses
+                    .iter()
+                    .all(|c| c.iter().any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos))
             });
             for (vsids, learning, restarts) in [
                 (true, true, true),
@@ -810,8 +805,10 @@ mod tests {
                     s.new_var();
                 }
                 for c in &clauses {
-                    let lits: Vec<Lit> =
-                        c.iter().map(|&(v, pos)| Lit::new(Var(v as u32), pos)).collect();
+                    let lits: Vec<Lit> = c
+                        .iter()
+                        .map(|&(v, pos)| Lit::new(Var(v as u32), pos))
+                        .collect();
                     s.add_clause(lits);
                 }
                 let got = s.solve(&[]);
@@ -820,7 +817,10 @@ mod tests {
                 } else {
                     SatResult::Unsat
                 };
-                assert_eq!(got, expect, "round {round} config {vsids}/{learning}/{restarts}");
+                assert_eq!(
+                    got, expect,
+                    "round {round} config {vsids}/{learning}/{restarts}"
+                );
                 if got == SatResult::Sat {
                     // Verify the model actually satisfies the clauses.
                     let model = s.model();

@@ -390,9 +390,9 @@ impl SmtContext {
         let mut lhs: Vec<Lit> = Vec::new();
         let mut rhs: Vec<Lit> = Vec::new();
         let expand = |terms: &[(VarId, i64)],
-                          pos_side: &mut Vec<Lit>,
-                          neg_side: &mut Vec<Lit>,
-                          me: &mut Self|
+                      pos_side: &mut Vec<Lit>,
+                      neg_side: &mut Vec<Lit>,
+                      me: &mut Self|
          -> Result<(), EncodeError> {
             for &(v, c) in terms {
                 let lit = me.lit_of(v);
@@ -615,7 +615,9 @@ mod proptests {
 
     fn vars(n: usize) -> Vec<VarId> {
         let mut vt = VarTable::new();
-        (0..n).map(|i| vt.fresh_indexed("x", i, VarRole::Aux)).collect()
+        (0..n)
+            .map(|i| vt.fresh_indexed("x", i, VarRole::Aux))
+            .collect()
     }
 
     proptest! {
@@ -635,7 +637,7 @@ mod proptests {
             let count = bits.iter().filter(|&&b| b).count();
             for (i, &o) in outs.iter().enumerate() {
                 // outs[i] <=> at least i+1 inputs true
-                let expected = count >= i + 1;
+                let expected = count > i;
                 let mut probe = ctx.clone();
                 probe.add_clause([if expected { o } else { !o }]);
                 prop_assert!(probe.check(&[]).is_sat(), "totalizer bit {i}");

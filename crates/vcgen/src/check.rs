@@ -107,7 +107,8 @@ impl VcProblem {
     /// enumeration assumptions on top.
     pub fn assert_base(&self, ctx: &mut SmtContext) {
         for b in &self.error_constraints {
-            ctx.assert(b).expect("error constraints are in the fragment");
+            ctx.assert(b)
+                .expect("error constraints are in the fragment");
         }
         for b in &self.vc.classical {
             ctx.assert(b).expect("classical side conditions encodable");

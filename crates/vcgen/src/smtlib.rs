@@ -17,7 +17,13 @@ fn var_name(vt: &VarTable, v: VarId) -> String {
     let raw = vt.name(v);
     let clean: String = raw
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     format!("v_{clean}")
 }

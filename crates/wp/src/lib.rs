@@ -59,7 +59,9 @@ mod soundness {
             let choice = self.rng.gen_range(0..if qec_fragment { 5 } else { 7 });
             match choice {
                 0 => {
-                    let g = *[Gate1::H, Gate1::S, Gate1::X, Gate1::Z].choose(&mut self.rng).unwrap();
+                    let g = *[Gate1::H, Gate1::S, Gate1::X, Gate1::Z]
+                        .choose(&mut self.rng)
+                        .unwrap();
                     Stmt::Gate1(g, self.rng.gen_range(0..self.n))
                 }
                 1 => {
@@ -73,7 +75,9 @@ mod soundness {
                 }
                 2 => {
                     let e = self.fresh_var("e", VarRole::Error);
-                    let g = *[Gate1::X, Gate1::Y, Gate1::Z].choose(&mut self.rng).unwrap();
+                    let g = *[Gate1::X, Gate1::Y, Gate1::Z]
+                        .choose(&mut self.rng)
+                        .unwrap();
                     Stmt::CondGate1(BExp::var(e), g, self.rng.gen_range(0..self.n))
                 }
                 3 => {

@@ -163,9 +163,12 @@ impl Engine {
                 Ok(())
             }
             None => {
-                let hit = self.a.conjuncts.iter().any(|c| {
-                    c.terms().iter().any(|t| t.phase().contains(x))
-                }) || self.a.guards.iter().any(|g| g.contains(x));
+                let hit = self
+                    .a
+                    .conjuncts
+                    .iter()
+                    .any(|c| c.terms().iter().any(|t| t.phase().contains(x)))
+                    || self.a.guards.iter().any(|g| g.contains(x));
                 if hit {
                     return Err(WpError::NonAffineSubstitution {
                         var: format!("v{}", x.0),
@@ -196,9 +199,10 @@ impl Engine {
         // which is what makes the refutation encoding sound (the decoder is
         // forced to respond to the real syndrome).
         let new_phase = g.phase().clone() ^ Affine::var(x);
-        self.a
-            .conjuncts
-            .push(ExtPauli::from_sym(SymPauli::new(g.pauli().clone(), new_phase)));
+        self.a.conjuncts.push(ExtPauli::from_sym(SymPauli::new(
+            g.pauli().clone(),
+            new_phase,
+        )));
         self.a.or_vars.push(x);
         Ok(())
     }
@@ -308,11 +312,7 @@ mod tests {
     #[test]
     fn fixed_non_pauli_error_conjugates() {
         let post = QecAssertion::from_conjuncts(1, vec![plain("X")]);
-        let r = qec_wp(
-            &Stmt::CondGate1(BExp::tt(), Gate1::T, 0),
-            post,
-        )
-        .unwrap();
+        let r = qec_wp(&Stmt::CondGate1(BExp::tt(), Gate1::T, 0), post).unwrap();
         assert_eq!(r.pre.conjuncts[0].terms().len(), 2);
     }
 }

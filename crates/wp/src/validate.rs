@@ -32,8 +32,7 @@ pub fn triple_holds<O: DecoderOracle>(
         }
         let sub = pre.denote(&m, num_qubits);
         // Check each basis vector and one uniform superposition.
-        let mut candidates: Vec<Vec<veriqec_qsim::C64>> =
-            sub.basis().iter().cloned().collect();
+        let mut candidates: Vec<Vec<veriqec_qsim::C64>> = sub.basis().to_vec();
         if sub.dim() > 1 {
             let mut mix = vec![veriqec_qsim::C64::zero(); 1 << num_qubits];
             for b in sub.basis() {
@@ -116,6 +115,13 @@ mod tests {
             ),
         ]);
         let post = Assertion::and(atom("XI"), atom("IZ"));
-        assert!(triple_holds(&atom("XI"), &prog, &post, &[b], 2, &NoDecoders));
+        assert!(triple_holds(
+            &atom("XI"),
+            &prog,
+            &post,
+            &[b],
+            2,
+            &NoDecoders
+        ));
     }
 }

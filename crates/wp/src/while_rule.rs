@@ -46,10 +46,7 @@ pub fn check_while(
     num_qubits: usize,
 ) -> Result<WhileTriple, WpError> {
     let body_pre = wp_loopfree(body, invariant)?;
-    let premise_lhs = Assertion::and(
-        Assertion::boolean(guard.clone()),
-        invariant.clone(),
-    );
+    let premise_lhs = Assertion::and(Assertion::boolean(guard.clone()), invariant.clone());
     if !entails(&premise_lhs, &body_pre, vars, num_qubits) {
         return Err(WpError::Unsupported {
             what: "invariant is not preserved by the loop body".into(),
@@ -85,10 +82,7 @@ mod tests {
         // flipped, otherwise it is |0⟩". Conclusion post: ¬x ∧ A ⊨ Z.
         let mut vt = VarTable::new();
         let x = vt.fresh("x", VarRole::Aux);
-        let body = Stmt::seq([
-            Stmt::Gate1(Gate1::X, 0),
-            Stmt::Assign(x, BExp::ff()),
-        ]);
+        let body = Stmt::seq([Stmt::Gate1(Gate1::X, 0), Stmt::Assign(x, BExp::ff())]);
         let guard = BExp::var(x);
         let inv = Assertion::or(
             Assertion::and(Assertion::boolean(guard.clone()), atom("-Z")),

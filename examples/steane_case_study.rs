@@ -41,7 +41,11 @@ fn main() {
         vc.targets.len()
     );
     let report = verify_correction(&scenario, 1, SolverConfig::default());
-    println!("verified: {} in {:?}\n", report.outcome.is_verified(), report.wall_time);
+    println!(
+        "verified: {} in {:?}\n",
+        report.outcome.is_verified(),
+        report.wall_time
+    );
     assert!(report.outcome.is_verified());
 
     // ---- Case II (§5.2.2): a fixed T error (the non-commuting case).

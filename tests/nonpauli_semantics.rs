@@ -20,7 +20,11 @@ use veriqec_vcgen::NonPauliOutcome;
 
 /// Prepares the joint +1 eigenstate of the scenario's LHS generating set at
 /// given parameter values by projective filtering of a generic state.
-fn prepare_lhs_state(code: &StabilizerCode, lhs: &[veriqec_pauli::SymPauli], m: &CMem) -> DenseState {
+fn prepare_lhs_state(
+    code: &StabilizerCode,
+    lhs: &[veriqec_pauli::SymPauli],
+    m: &CMem,
+) -> DenseState {
     let n = code.n();
     // Start from a generic (pseudo-random) state so that no projection onto
     // a ±1 eigenspace vanishes.

@@ -37,10 +37,7 @@ fn eqn6_and_example_3_3() {
 /// through the scalable engine, gives the paper's precondition phases.
 #[test]
 fn example_4_2_from_concrete_syntax() {
-    let prog = parse_program(
-        "[x[0]] q[0] *= X; [x[1]] q[1] *= X; [x[2]] q[2] *= X",
-    )
-    .unwrap();
+    let prog = parse_program("[x[0]] q[0] *= X; [x[1]] q[1] *= X; [x[2]] q[2] *= X").unwrap();
     let x: Vec<_> = (0..3)
         .map(|i| prog.vars.lookup(&format!("x_{i}")).unwrap())
         .collect();

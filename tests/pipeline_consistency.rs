@@ -6,8 +6,8 @@ use veriqec::sampling::sample_scenario;
 use veriqec::scenario::{memory_scenario, ErrorModel};
 use veriqec::tasks::{find_distance, verify_correction};
 use veriqec_codes::{
-    carbon_12_2_4, five_qubit, gottesman8, reed_muller, rotated_surface, shor9, six_qubit,
-    steane, toric, xzzx_surface,
+    carbon_12_2_4, five_qubit, gottesman8, reed_muller, rotated_surface, shor9, six_qubit, steane,
+    toric, xzzx_surface,
 };
 use veriqec_decoder::{decode_call_oracle, CssLookupDecoder, LookupDecoder};
 use veriqec_gf2::BitVec;
@@ -114,10 +114,7 @@ fn counterexamples_reproduce_under_simulation() {
 fn xzzx_and_surface_agree() {
     // XZZX is locally-Clifford equivalent to the rotated surface code; both
     // verify the same budget and reject the same over-budget.
-    for (code, t_ok, t_bad) in [
-        (rotated_surface(3), 1, 2),
-        (xzzx_surface(3), 1, 2),
-    ] {
+    for (code, t_ok, t_bad) in [(rotated_surface(3), 1, 2), (xzzx_surface(3), 1, 2)] {
         let scenario = memory_scenario(&code, ErrorModel::YErrors);
         let ok = verify_correction(&scenario, t_ok, SolverConfig::default());
         assert!(ok.outcome.is_verified(), "{}", code.name());

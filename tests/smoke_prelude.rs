@@ -1,0 +1,38 @@
+//! Workspace-level smoke test for the umbrella re-export surface.
+//!
+//! Reproduces the doctest of `crates/core/src/lib.rs` — one round of error
+//! correction on the Steane code corrects any single Y error — but imports
+//! everything through `veriqec_repro::prelude`, so a broken re-export in the
+//! umbrella crate fails here even if every member crate is green on its own.
+
+use veriqec_repro::prelude::*;
+
+#[test]
+fn steane_corrects_any_single_y_error_via_prelude() {
+    let code = steane();
+    assert_eq!(code.n(), 7);
+
+    let scenario = memory_scenario(&code, ErrorModel::YErrors);
+    let report = verify_correction(&scenario, 1, SolverConfig::default());
+    assert!(
+        report.outcome.is_verified(),
+        "Steane must correct any single Y error"
+    );
+}
+
+#[test]
+fn prelude_covers_the_full_pipeline_surface() {
+    // Distance discovery (precise detection, Eqn. 15 of the paper).
+    let code = steane();
+    assert_eq!(find_distance(&code, 5), Some(3));
+
+    // Detection task: a distance-3 code detects all errors of weight < 3.
+    match verify_detection(&code, 3, SolverConfig::default()) {
+        DetectionOutcome::AllDetected => {}
+        other => panic!("expected AllDetected, got {other:?}"),
+    }
+
+    // The surface-code constructor is reachable through the prelude too.
+    let surface = rotated_surface(3);
+    assert_eq!(surface.n(), 9);
+}
