@@ -1,0 +1,216 @@
+//! Microbenchmarks of the bit-packed phase engine against the historical
+//! `BTreeSet<VarId>` representation (`veriqec_cexpr::baseline::SetAffine`).
+//!
+//! Two kernels, both at surface-code scale:
+//!
+//! * **XOR chain** — folding a long chain of affine phase updates into an
+//!   accumulator, the inner loop of every Fig. 3 rule application;
+//! * **branch resolution** — `ReducedVc::resolve_branches` on the real d=7
+//!   rotated-surface memory VC, packed word-level row elimination vs the
+//!   old clone-a-set-per-pivot Gaussian elimination.
+//!
+//! Besides the criterion groups, `speedup_report` prints packed-vs-set
+//! ratios measured back to back, so a run of this bench records the numbers
+//! the PR-level acceptance criterion asks for.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use veriqec::scenario::{memory_scenario, ErrorModel};
+use veriqec_cexpr::baseline::SetAffine;
+use veriqec_cexpr::{Affine, VarId};
+use veriqec_codes::rotated_surface;
+use veriqec_vcgen::{reduce_commuting, ReducedVc};
+use veriqec_wp::qec_wp;
+
+/// Deterministic xorshift so both representations see identical workloads.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// The XOR-chain workload at distance `d`: variable ids span the d×d memory
+/// scenario's registry (qubit errors + syndromes + per-sector corrections),
+/// each form has the weight of a typical stabilizer phase update.
+fn chain_forms(d: usize) -> Vec<Vec<VarId>> {
+    let nvars = (4 * d * d) as u64;
+    let mut rng = Lcg(0x9E37_79B9 ^ d as u64);
+    (0..256)
+        .map(|_| (0..8).map(|_| VarId((rng.next() % nvars) as u32)).collect())
+        .collect()
+}
+
+fn xor_chain_packed(forms: &[Affine]) -> Affine {
+    let mut acc = Affine::zero();
+    for f in forms {
+        acc ^= f;
+    }
+    acc
+}
+
+fn xor_chain_set(forms: &[SetAffine]) -> SetAffine {
+    let mut acc = SetAffine::zero();
+    for f in forms {
+        // The pre-refactor update pattern: clone the right-hand side into
+        // the move-taking XOR.
+        acc ^= f.clone();
+    }
+    acc
+}
+
+/// The unresolved d=7 rotated-surface memory VC (guards ∪ targets system
+/// with the or-bound syndrome variables still in place).
+fn surface_vc(d: usize) -> ReducedVc {
+    let scenario = memory_scenario(&rotated_surface(d), ErrorModel::YErrors);
+    let wp = qec_wp(&scenario.program, scenario.post.clone()).expect("QEC fragment");
+    reduce_commuting(&scenario.lhs, &wp.pre).expect("commuting case")
+}
+
+/// The pre-refactor branch resolution: set-backed forms, first equation
+/// containing the or-variable becomes the pivot and is cloned into every
+/// other occurrence.
+fn resolve_set_model(
+    or_vars: &[VarId],
+    equations: &[SetAffine],
+) -> (Vec<SetAffine>, Vec<SetAffine>) {
+    let mut equations: Vec<SetAffine> = equations.to_vec();
+    let mut pins: Vec<SetAffine> = Vec::new();
+    for &s in or_vars {
+        let Some(idx) = equations.iter().position(|e| e.contains(s)) else {
+            continue;
+        };
+        let pivot = equations.remove(idx);
+        for e in &mut equations {
+            if e.contains(s) {
+                *e ^= pivot.clone();
+            }
+        }
+        pins.push(pivot);
+    }
+    equations.retain(|e| !e.is_zero());
+    (pins, equations)
+}
+
+fn to_set(a: &Affine) -> SetAffine {
+    let mut s = SetAffine::constant(a.constant_part());
+    for v in a.vars() {
+        s.xor_var(v);
+    }
+    s
+}
+
+fn bench_xor_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xor_chain");
+    group.sample_size(50);
+    for d in [3, 5, 7] {
+        let ids = chain_forms(d);
+        let packed: Vec<Affine> = ids
+            .iter()
+            .map(|f| Affine::sum_vars(f.iter().copied()))
+            .collect();
+        let set: Vec<SetAffine> = packed.iter().map(to_set).collect();
+        group.bench_function(format!("d{d}_packed"), |b| {
+            b.iter(|| black_box(xor_chain_packed(black_box(&packed))))
+        });
+        group.bench_function(format!("d{d}_btreeset"), |b| {
+            b.iter(|| black_box(xor_chain_set(black_box(&set))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_branch_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_resolution");
+    group.sample_size(30);
+    for d in [3, 5, 7] {
+        let vc = surface_vc(d);
+        let set_equations: Vec<SetAffine> =
+            vc.guards.iter().chain(&vc.targets).map(to_set).collect();
+        // Sanity: both resolutions agree on system shape.
+        let mut packed_vc = vc.clone();
+        packed_vc.resolve_branches();
+        let (pins, residuals) = resolve_set_model(&vc.or_vars, &set_equations);
+        assert_eq!(packed_vc.guards.len(), pins.len(), "d={d} pin count");
+        assert_eq!(packed_vc.targets.len(), residuals.len(), "d={d} residuals");
+        group.bench_function(format!("d{d}_packed_rows"), |b| {
+            b.iter(|| {
+                let mut v = vc.clone();
+                v.resolve_branches();
+                black_box(v.targets.len())
+            })
+        });
+        group.bench_function(format!("d{d}_btreeset_pivot_clone"), |b| {
+            b.iter(|| black_box(resolve_set_model(&vc.or_vars, &set_equations).1.len()))
+        });
+    }
+    group.finish();
+}
+
+/// Back-to-back wall-clock comparison printed as explicit speedup ratios —
+/// the recorded evidence for the ≥5× acceptance bar at d=7.
+fn speedup_report(_c: &mut Criterion) {
+    let time = |mut f: Box<dyn FnMut()>, iters: u32| {
+        f(); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        t0.elapsed().as_secs_f64() / f64::from(iters)
+    };
+    let d = 7;
+    let ids = chain_forms(d);
+    let packed: Vec<Affine> = ids
+        .iter()
+        .map(|f| Affine::sum_vars(f.iter().copied()))
+        .collect();
+    let set: Vec<SetAffine> = packed.iter().map(to_set).collect();
+    let tp = time(
+        Box::new(move || drop(black_box(xor_chain_packed(&packed)))),
+        200,
+    );
+    let ts = time(Box::new(move || drop(black_box(xor_chain_set(&set)))), 200);
+    eprintln!(
+        "  speedup d=7 xor_chain: packed {:.2?} vs btreeset {:.2?} -> {:.1}x",
+        std::time::Duration::from_secs_f64(tp),
+        std::time::Duration::from_secs_f64(ts),
+        ts / tp
+    );
+    let vc = surface_vc(d);
+    let set_equations: Vec<SetAffine> = vc.guards.iter().chain(&vc.targets).map(to_set).collect();
+    let vc2 = vc.clone();
+    let tp = time(
+        Box::new(move || {
+            let mut v = vc2.clone();
+            v.resolve_branches();
+            black_box(&v.targets);
+        }),
+        50,
+    );
+    let or_vars = vc.or_vars.clone();
+    let ts = time(
+        Box::new(move || drop(black_box(resolve_set_model(&or_vars, &set_equations)))),
+        50,
+    );
+    eprintln!(
+        "  speedup d=7 branch_resolution: packed {:.2?} vs btreeset {:.2?} -> {:.1}x",
+        std::time::Duration::from_secs_f64(tp),
+        std::time::Duration::from_secs_f64(ts),
+        ts / tp
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_xor_chain,
+    bench_branch_resolution,
+    speedup_report
+);
+criterion_main!(benches);

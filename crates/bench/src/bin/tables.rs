@@ -48,8 +48,12 @@ fn main() {
 
 fn fig4(max_d: usize) {
     println!("\n### Fig. 4 — general verification of the rotated surface code\n");
-    println!("| d | qubits | sequential | parallel | subtasks |");
-    println!("|---|--------|-----------|----------|----------|");
+    println!(
+        "| d | qubits | sequential | parallel | subtasks | conflicts | decisions | propagations |"
+    );
+    println!(
+        "|---|--------|-----------|----------|----------|-----------|-----------|--------------|"
+    );
     for d in (3..=max_d).step_by(2) {
         let (scenario, problem) = surface_problem(d);
         let t0 = Instant::now();
@@ -63,10 +67,13 @@ fn fig4(max_d: usize) {
         let par = check_parallel(&problem, &scenario.error_vars, &cfg);
         assert!(seq.is_verified() && par.outcome.is_verified());
         println!(
-            "| {d} | {} | {seq_t:?} | {:?} | {} |",
+            "| {d} | {} | {seq_t:?} | {:?} | {} | {} | {} | {} |",
             d * d,
             par.wall_time,
-            par.subtasks
+            par.subtasks,
+            par.stats.conflicts,
+            par.stats.decisions,
+            par.stats.propagations,
         );
     }
 }

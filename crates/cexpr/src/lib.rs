@@ -27,6 +27,7 @@
 //! ```
 
 mod affine;
+pub mod baseline;
 mod expr;
 mod mem;
 mod vars;
@@ -81,6 +82,110 @@ mod proptests {
         #[test]
         fn to_bexp_roundtrip(a in arb_affine(), m in arb_mem()) {
             prop_assert_eq!(a.to_bexp().eval(&m), a.eval(&m));
+        }
+    }
+}
+
+#[cfg(test)]
+mod packed_vs_set_model {
+    //! Differential tests: the packed [`Affine`] must be extensionally equal
+    //! to the [`baseline::SetAffine`] reference model under arbitrary
+    //! operation sequences, including ids far beyond the inline 128-bit span.
+
+    use super::*;
+    use baseline::SetAffine;
+    use proptest::prelude::*;
+
+    /// One mutation step applied to both representations.
+    #[derive(Clone, Debug)]
+    enum Op {
+        XorVar(u32),
+        XorConst(bool),
+        XorForm(Vec<u32>, bool),
+        Subst(u32, Vec<u32>, bool),
+    }
+
+    fn arb_var() -> impl Strategy<Value = u32> {
+        // Mix of inline-range and heap-range ids, crossing word boundaries.
+        proptest::sample::select(vec![0u32, 1, 7, 63, 64, 65, 127, 128, 129, 200, 500])
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        (
+            0u32..4,
+            arb_var(),
+            proptest::collection::vec(arb_var(), 0..4),
+            any::<bool>(),
+        )
+            .prop_map(|(tag, v, vs, c)| match tag {
+                0 => Op::XorVar(v),
+                1 => Op::XorConst(c),
+                2 => Op::XorForm(vs, c),
+                _ => Op::Subst(v, vs, c),
+            })
+    }
+
+    fn agree(p: &Affine, s: &SetAffine) -> Result<(), String> {
+        if p.constant_part() != s.constant_part() {
+            return Err(format!("constant mismatch: {p} vs {s:?}"));
+        }
+        let pv: Vec<VarId> = p.vars().collect();
+        let sv: Vec<VarId> = s.vars().collect();
+        if pv != sv {
+            return Err(format!("var-set mismatch: {pv:?} vs {sv:?}"));
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn packed_equals_set_model(ops in proptest::collection::vec(arb_op(), 0..24)) {
+            let mut p = Affine::zero();
+            let mut s = SetAffine::zero();
+            for op in ops {
+                match op {
+                    Op::XorVar(v) => {
+                        p.xor_var(VarId(v));
+                        s.xor_var(VarId(v));
+                    }
+                    Op::XorConst(c) => {
+                        p.xor_const(c);
+                        s.xor_const(c);
+                    }
+                    Op::XorForm(vs, c) => {
+                        let mut dp = Affine::constant(c);
+                        let mut ds = SetAffine::constant(c);
+                        for v in vs {
+                            dp.xor_var(VarId(v));
+                            ds.xor_var(VarId(v));
+                        }
+                        p ^= &dp;
+                        s ^= ds;
+                    }
+                    Op::Subst(v, vs, c) => {
+                        let mut ep = Affine::constant(c);
+                        let mut es = SetAffine::constant(c);
+                        for w in vs {
+                            ep.xor_var(VarId(w));
+                            es.xor_var(VarId(w));
+                        }
+                        p = p.subst(VarId(v), &ep);
+                        s = s.subst(VarId(v), &es);
+                    }
+                }
+                agree(&p, &s)?;
+                prop_assert_eq!(&p, &s.to_packed());
+            }
+            // Evaluation agrees on a spot-check memory (odd-id vars true).
+            let mut m = CMem::new();
+            for v in p.vars() {
+                m.set(v, Value::Bool(v.0 % 2 == 1));
+            }
+            prop_assert_eq!(p.eval(&m), s.eval(&m));
+            prop_assert_eq!(p.num_vars(), s.vars().count());
+            prop_assert_eq!(p.is_zero(), s.is_zero());
         }
     }
 }

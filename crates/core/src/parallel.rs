@@ -8,11 +8,11 @@
 //! driver, scaled to a thread count.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use veriqec_cexpr::VarId;
-use veriqec_sat::{Lit, SolverConfig};
+use veriqec_sat::{Lit, SolverConfig, SolverStats};
 use veriqec_smt::{CheckResult, SmtContext};
 use veriqec_vcgen::{VcOutcome, VcProblem};
 
@@ -51,6 +51,9 @@ pub struct ParallelReport {
     pub subtasks: usize,
     /// Wall-clock time.
     pub wall_time: Duration,
+    /// Solver statistics summed across all workers (conflicts, decisions,
+    /// propagations, restarts, kept learnt clauses).
+    pub stats: SolverStats,
 }
 
 /// Enumerates assumption sets over `enum_vars` using the `ET` heuristic.
@@ -81,7 +84,10 @@ pub fn split_subtasks(enum_vars: &[VarId], config: &ParallelConfig) -> Vec<Vec<(
 
 /// Solves a [`VcProblem`] by parallel enumeration over `enum_vars` (typically
 /// the error indicators). Cancels outstanding work on the first
-/// counterexample.
+/// counterexample: the shared flag is both the work-loop guard and a
+/// cooperative stop flag installed on every worker's solver, so a worker
+/// stuck *inside* a long subtask aborts at its next conflict/decision
+/// boundary instead of only between subtasks.
 pub fn check_parallel(
     problem: &VcProblem,
     enum_vars: &[VarId],
@@ -90,8 +96,9 @@ pub fn check_parallel(
     let start = Instant::now();
     let subtasks = split_subtasks(enum_vars, config);
     let n_subtasks = subtasks.len();
-    let cancelled = AtomicBool::new(false);
+    let cancelled = Arc::new(AtomicBool::new(false));
     let result: Mutex<Option<VcOutcome>> = Mutex::new(None);
+    let stats: Mutex<SolverStats> = Mutex::new(SolverStats::default());
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
     // Encode the base problem once per worker (contexts are not Sync);
@@ -100,47 +107,52 @@ pub fn check_parallel(
         for _ in 0..config.workers.max(1) {
             scope.spawn(|| {
                 let mut ctx = SmtContext::with_config(config.solver);
+                ctx.set_stop_flag(Arc::clone(&cancelled));
                 problem.assert_base(&mut ctx);
-                let Some(goal) = problem.goal_lit(&mut ctx) else {
-                    return; // trivially verified
-                };
-                ctx.add_clause([goal]);
-                loop {
-                    if cancelled.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= subtasks.len() {
-                        return;
-                    }
-                    let assumptions: Vec<Lit> = subtasks[idx]
-                        .iter()
-                        .map(|&(v, val)| {
-                            let l = ctx.lit_of(v);
-                            if val {
-                                l
-                            } else {
-                                !l
-                            }
-                        })
-                        .collect();
-                    match ctx.check(&assumptions) {
-                        CheckResult::Unsat => {}
-                        CheckResult::Sat => {
-                            let model = ctx.model();
-                            *result.lock().expect("poisoned") =
-                                Some(VcOutcome::CounterExample(model));
-                            cancelled.store(true, Ordering::Relaxed);
-                            return;
+                if let Some(goal) = problem.goal_lit(&mut ctx) {
+                    ctx.add_clause([goal]);
+                    loop {
+                        if cancelled.load(Ordering::Relaxed) {
+                            break;
                         }
-                        CheckResult::Unknown => {
-                            let mut r = result.lock().expect("poisoned");
-                            if r.is_none() {
-                                *r = Some(VcOutcome::Unknown);
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= subtasks.len() {
+                            break;
+                        }
+                        let assumptions: Vec<Lit> = subtasks[idx]
+                            .iter()
+                            .map(|&(v, val)| {
+                                let l = ctx.lit_of(v);
+                                if val {
+                                    l
+                                } else {
+                                    !l
+                                }
+                            })
+                            .collect();
+                        match ctx.check(&assumptions) {
+                            CheckResult::Unsat => {}
+                            CheckResult::Sat => {
+                                let model = ctx.model();
+                                *result.lock().expect("poisoned") =
+                                    Some(VcOutcome::CounterExample(model));
+                                cancelled.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            CheckResult::Unknown => {
+                                // Either a genuine budget exhaustion or a
+                                // cooperative abort after cancellation; in
+                                // the latter case a real outcome is already
+                                // recorded and wins.
+                                let mut r = result.lock().expect("poisoned");
+                                if r.is_none() && !cancelled.load(Ordering::Relaxed) {
+                                    *r = Some(VcOutcome::Unknown);
+                                }
                             }
                         }
                     }
                 }
+                *stats.lock().expect("poisoned") += ctx.solver_stats();
             });
         }
     });
@@ -153,6 +165,7 @@ pub fn check_parallel(
         outcome,
         subtasks: n_subtasks,
         wall_time: start.elapsed(),
+        stats: stats.into_inner().expect("poisoned"),
     }
 }
 
@@ -196,6 +209,9 @@ mod tests {
         assert!(seq.is_verified());
         assert!(par.outcome.is_verified());
         assert!(par.subtasks > 1);
+        // The aggregated worker stats must reflect real solver work.
+        assert!(par.stats.propagations > 0);
+        assert!(par.stats.decisions > 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! phases, and the postcondition in QEC normal form), the error-indicator
 //! variables for `P_c`, and the decoder wiring for `P_f`.
 
-use veriqec_cexpr::{Affine, BExp, VarId, VarRole, VarTable};
+use veriqec_cexpr::{BExp, VarId, VarRole, VarTable};
 use veriqec_codes::StabilizerCode;
 use veriqec_gf2::BitVec;
 use veriqec_logic::QecAssertion;
@@ -372,13 +372,14 @@ impl ScenarioBuilder {
                 } else {
                     self.logical_z[b][i].clone()
                 };
-                lhs.push(SymPauli::new(
-                    initial.pauli().clone(),
-                    initial.phase().clone() ^ Affine::var(bv),
-                ));
+                let mut initial_phase = initial.phase().clone();
+                initial_phase.xor_var(bv);
+                lhs.push(SymPauli::new(initial.pauli().clone(), initial_phase));
+                let mut current_phase = current.phase().clone();
+                current_phase.xor_var(bv);
                 post_conjuncts.push(ExtPauli::from_sym(SymPauli::new(
                     current.pauli().clone(),
-                    current.phase().clone() ^ Affine::var(bv),
+                    current_phase,
                 )));
             }
         }

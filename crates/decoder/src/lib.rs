@@ -135,7 +135,7 @@ impl CssLookupDecoder {
 }
 
 /// Adapts CSS lookup decoders to the interpreter's
-/// [`DecoderOracle`](veriqec_prog::DecoderOracle) interface: decoder names
+/// `veriqec_prog::DecoderOracle` interface: decoder names
 /// `decode_x` (inputs = Z-check syndromes, outputs = X corrections) and
 /// `decode_z` (inputs = X-check syndromes, outputs = Z corrections).
 pub fn decode_call_oracle(

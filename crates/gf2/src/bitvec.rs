@@ -1,8 +1,7 @@
 //! Bit-packed vectors over GF(2).
 
+use crate::words::{self, WordOnes, BITS};
 use std::fmt;
-
-const BITS: usize = 64;
 
 /// A fixed-length vector over GF(2), packed into 64-bit blocks.
 ///
@@ -67,6 +66,26 @@ impl BitVec {
         }))
     }
 
+    /// Builds a vector of length `len` directly from storage words (bit `i`
+    /// in word `i / 64` at position `i % 64`). Bits at positions `>= len`
+    /// are masked off; missing high words are zero-filled.
+    pub fn from_words(len: usize, mut blocks: Vec<u64>) -> Self {
+        let n_blocks = len.div_ceil(BITS);
+        blocks.resize(n_blocks, 0);
+        if !len.is_multiple_of(BITS) {
+            if let Some(last) = blocks.last_mut() {
+                *last &= (1u64 << (len % BITS)) - 1;
+            }
+        }
+        BitVec { blocks, len }
+    }
+
+    /// The raw storage words (little-endian bit order). Bits at positions
+    /// `>= len()` are guaranteed zero.
+    pub fn as_words(&self) -> &[u64] {
+        &self.blocks
+    }
+
     /// Number of bits.
     pub fn len(&self) -> usize {
         self.len
@@ -116,9 +135,7 @@ impl BitVec {
     /// Panics if lengths differ.
     pub fn xor_assign(&mut self, other: &BitVec) {
         assert_eq!(self.len, other.len, "length mismatch in xor_assign");
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a ^= b;
-        }
+        words::xor_into(&mut self.blocks, &other.blocks);
     }
 
     /// Returns `self XOR other`.
@@ -150,12 +167,12 @@ impl BitVec {
 
     /// Hamming weight (number of set bits).
     pub fn weight(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        words::popcount(&self.blocks)
     }
 
     /// True when no bit is set.
     pub fn is_zero(&self) -> bool {
-        self.blocks.iter().all(|&b| b == 0)
+        words::is_zero(&self.blocks)
     }
 
     /// Inner product over GF(2): parity of the AND of the two vectors.
@@ -165,26 +182,28 @@ impl BitVec {
     /// Panics if lengths differ.
     pub fn dot(&self, other: &BitVec) -> bool {
         assert_eq!(self.len, other.len, "length mismatch in dot");
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .fold(0u32, |acc, (a, b)| acc ^ (a & b).count_ones())
-            & 1
-            == 1
+        words::dot(&self.blocks, &other.blocks)
     }
 
     /// Iterator over the indices of set bits, in increasing order.
     pub fn iter_ones(&self) -> IterOnes<'_> {
-        IterOnes {
-            vec: self,
-            block_idx: 0,
-            current: self.blocks.first().copied().unwrap_or(0),
-        }
+        WordOnes::new(&self.blocks)
     }
 
     /// Index of the lowest set bit, if any.
     pub fn first_one(&self) -> Option<usize> {
         self.iter_ones().next()
+    }
+
+    /// Index of the lowest bit set in both `self` and `mask`, if any — a
+    /// word-level scan, no per-bit probing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn first_one_masked(&self, mask: &BitVec) -> Option<usize> {
+        assert_eq!(self.len, mask.len, "length mismatch in first_one_masked");
+        words::first_common_one(&self.blocks, &mask.blocks)
     }
 
     /// Concatenates two vectors.
@@ -242,35 +261,12 @@ impl FromIterator<bool> for BitVec {
     }
 }
 
-/// Iterator over set-bit indices of a [`BitVec`]. Produced by [`BitVec::iter_ones`].
-pub struct IterOnes<'a> {
-    vec: &'a BitVec,
-    block_idx: usize,
-    current: u64,
-}
-
-impl Iterator for IterOnes<'_> {
-    type Item = usize;
-
-    fn next(&mut self) -> Option<usize> {
-        loop {
-            if self.current != 0 {
-                let tz = self.current.trailing_zeros() as usize;
-                self.current &= self.current - 1;
-                let idx = self.block_idx * BITS + tz;
-                if idx < self.vec.len {
-                    return Some(idx);
-                }
-                return None;
-            }
-            self.block_idx += 1;
-            if self.block_idx >= self.vec.blocks.len() {
-                return None;
-            }
-            self.current = self.vec.blocks[self.block_idx];
-        }
-    }
-}
+/// Iterator over set-bit indices of a [`BitVec`]. Produced by
+/// [`BitVec::iter_ones`]; the bit-scan loop itself lives in
+/// [`crate::words::WordOnes`] and is shared with the packed affine phases.
+/// (`BitVec` keeps all bits at positions `>= len()` zero, so no length guard
+/// is needed here.)
+pub type IterOnes<'a> = WordOnes<'a>;
 
 #[cfg(test)]
 mod tests {
@@ -321,6 +317,17 @@ mod tests {
         let c = a.concat(&b);
         assert_eq!(c.to_string(), "10101");
         assert_eq!(c.slice(1, 3).to_string(), "010");
+    }
+
+    #[test]
+    fn from_words_masks_and_pads() {
+        let v = BitVec::from_words(70, vec![u64::MAX, u64::MAX]);
+        assert_eq!(v.len(), 70);
+        assert_eq!(v.weight(), 70);
+        assert_eq!(v.as_words()[1], (1u64 << 6) - 1);
+        let w = BitVec::from_words(130, vec![1]);
+        assert_eq!(w.as_words().len(), 3);
+        assert_eq!(w.weight(), 1);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 mod bitvec;
 mod matrix;
+pub mod words;
 
 pub use bitvec::{BitVec, IterOnes};
 pub use matrix::BitMatrix;

@@ -190,6 +190,45 @@ impl BitMatrix {
         self.clone().rref().len()
     }
 
+    /// Partial Gaussian elimination restricted to the columns set in `mask`:
+    /// a single forward pass over the rows where each row is reduced against
+    /// the pivots found so far (word-level first-set-bit scans and row XORs)
+    /// until it either runs out of masked bits — a *residual* row — or
+    /// claims an unpivoted masked column and becomes that column's frozen
+    /// pivot. Pivot rows are never modified after they are claimed.
+    ///
+    /// Returns `(column, pivot_row)` pairs in discovery (row) order. This is
+    /// the elimination shape of the branch-resolution step in
+    /// `veriqec_vcgen` (`ReducedVc::resolve_branches`), where each pivot row
+    /// becomes a pinning constraint and the residual rows the genuine proof
+    /// obligations. After the call, residual rows contain no masked column
+    /// that found a pivot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != num_cols`.
+    pub fn pivot_reduce_masked(&mut self, mask: &BitVec) -> Vec<(usize, usize)> {
+        assert_eq!(mask.len(), self.cols, "mask width mismatch");
+        let mut pivot_of: Vec<Option<usize>> = vec![None; self.cols];
+        let mut pivots = Vec::new();
+        for r in 0..self.rows.len() {
+            // Each XOR clears the row's lowest masked bit and can only
+            // introduce masked bits above it (the pivot's own lowest masked
+            // bit is the one being cleared), so this loop terminates.
+            while let Some(c) = self.rows[r].first_one_masked(mask) {
+                match pivot_of[c] {
+                    Some(p) => self.xor_row_into(p, r),
+                    None => {
+                        pivot_of[c] = Some(r);
+                        pivots.push((c, r));
+                        break;
+                    }
+                }
+            }
+        }
+        pivots
+    }
+
     /// Solves `self * x = b`, returning one solution if the system is consistent.
     ///
     /// # Panics
@@ -347,6 +386,43 @@ mod tests {
     fn mul_against_identity() {
         let m = BitMatrix::parse(&["101", "110"]);
         assert_eq!(m.mul(&BitMatrix::identity(3)), m);
+    }
+
+    #[test]
+    fn pivot_reduce_masked_pins_and_clears() {
+        // Rows: s+a, s+b, a+b over columns [s, a, b]; only column s masked.
+        let mut m = BitMatrix::parse(&["110", "101", "011"]);
+        let pivots = m.pivot_reduce_masked(&BitVec::parse("100"));
+        assert_eq!(pivots, vec![(0, 0)]);
+        // Pivot row untouched; row 1 had col 0 cleared (now a+b); row 2 untouched.
+        assert_eq!(m.row(0).to_string(), "110");
+        assert_eq!(m.row(1).to_string(), "011");
+        assert_eq!(m.row(2).to_string(), "011");
+    }
+
+    #[test]
+    fn pivot_reduce_masked_freezes_pivot_rows() {
+        // Eliminating col 1 after col 0 must not fold back into row 0's pin.
+        let mut m = BitMatrix::parse(&["110", "011"]);
+        let pivots = m.pivot_reduce_masked(&BitVec::parse("110"));
+        assert_eq!(pivots, vec![(0, 0), (1, 1)]);
+        assert_eq!(m.row(0).to_string(), "110");
+        assert_eq!(m.row(1).to_string(), "011");
+    }
+
+    #[test]
+    fn pivot_reduce_masked_chains_reductions() {
+        // Row 2 = row0 ^ row1 over the masked columns: it must reduce to its
+        // unmasked residue through two chained XORs.
+        let mut m = BitMatrix::parse(&["1001", "0101", "1100"]);
+        let pivots = m.pivot_reduce_masked(&BitVec::parse("1110"));
+        assert_eq!(pivots, vec![(0, 0), (1, 1)]);
+        // row2: ^row0 -> 0101, ^row1 -> 0000... then col-3 residue: 1001^0101^1100 = 0000.
+        assert!(m.row(2).is_zero());
+        // Residual rows carry no pivoted masked column.
+        for &(c, _) in &pivots {
+            assert!(!m.row(2).get(c));
+        }
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Word-level GF(2) kernels shared by [`crate::BitVec`] and the bit-packed
+//! XOR-affine phases in `veriqec_cexpr`.
+//!
+//! Everything in this module operates on raw little-endian `u64` slices
+//! (bit `i` lives in word `i / 64` at position `i % 64`), so callers with
+//! different container shapes — fixed inline arrays, heap vectors, matrix
+//! rows — all funnel through the same XOR / popcount / bit-scan loops.
+
+/// Bits per storage word.
+pub const BITS: usize = 64;
+
+/// XORs `src` into the front of `dst`.
+///
+/// # Panics
+///
+/// Panics if `dst` is shorter than `src` (callers grow the destination
+/// first; silently dropping high words would corrupt the value).
+#[inline]
+pub fn xor_into(dst: &mut [u64], src: &[u64]) {
+    assert!(dst.len() >= src.len(), "xor_into: destination too short");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Number of set bits across the slice.
+#[inline]
+pub fn popcount(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// True when no bit is set.
+#[inline]
+pub fn is_zero(words: &[u64]) -> bool {
+    words.iter().all(|&w| w == 0)
+}
+
+/// Length of the slice with trailing zero words trimmed: the smallest `n`
+/// such that `words[n..]` is all zeros.
+#[inline]
+pub fn significant_len(words: &[u64]) -> usize {
+    words.len() - words.iter().rev().take_while(|&&w| w == 0).count()
+}
+
+/// Reads bit `i`, treating out-of-range bits as 0.
+#[inline]
+pub fn get_bit(words: &[u64], i: usize) -> bool {
+    words
+        .get(i / BITS)
+        .is_some_and(|w| (w >> (i % BITS)) & 1 == 1)
+}
+
+/// Index of the lowest bit set in both slices (`a AND b`), if any; the
+/// shorter slice is implicitly zero-extended.
+#[inline]
+pub fn first_common_one(a: &[u64], b: &[u64]) -> Option<usize> {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let w = x & y;
+        if w != 0 {
+            return Some(i * BITS + w.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Parity of the bitwise AND of two slices (the GF(2) inner product); the
+/// shorter slice is implicitly zero-extended.
+#[inline]
+pub fn dot(a: &[u64], b: &[u64]) -> bool {
+    a.iter()
+        .zip(b)
+        .fold(0u32, |acc, (x, y)| acc ^ (x & y).count_ones())
+        & 1
+        == 1
+}
+
+/// Iterator over the indices of set bits in a word slice, ascending.
+///
+/// This is the single bit-scan loop behind [`crate::BitVec::iter_ones`] and
+/// `veriqec_cexpr::Affine::vars`: it skips zero words wholesale and peels
+/// set bits off each nonzero word with `trailing_zeros`.
+#[derive(Clone)]
+pub struct WordOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> WordOnes<'a> {
+    /// Creates an iterator over the set bits of `words`.
+    pub fn new(words: &'a [u64]) -> Self {
+        WordOnes {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for WordOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * BITS + tz);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_popcount_roundtrip() {
+        let mut a = [0b1010u64, 0];
+        xor_into(&mut a, &[0b0110, 1]);
+        assert_eq!(a, [0b1100, 1]);
+        assert_eq!(popcount(&a), 3);
+        assert!(!is_zero(&a));
+        assert!(is_zero(&[0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "destination too short")]
+    fn xor_into_rejects_short_destination() {
+        xor_into(&mut [0u64], &[1, 2]);
+    }
+
+    #[test]
+    fn significant_len_trims_trailing_zeros() {
+        assert_eq!(significant_len(&[1, 0, 2, 0, 0]), 3);
+        assert_eq!(significant_len(&[0, 0]), 0);
+        assert_eq!(significant_len(&[]), 0);
+    }
+
+    #[test]
+    fn get_bit_is_total() {
+        let w = [1u64 << 63, 1];
+        assert!(get_bit(&w, 63));
+        assert!(get_bit(&w, 64));
+        assert!(!get_bit(&w, 65));
+        assert!(!get_bit(&w, 100_000));
+    }
+
+    #[test]
+    fn dot_zero_extends() {
+        assert!(dot(&[0b11], &[0b01, 0xFF]));
+        assert!(!dot(&[0b11], &[0b11, 0xFF]));
+    }
+
+    #[test]
+    fn first_common_one_scans_words() {
+        assert_eq!(first_common_one(&[0b100, 0], &[0b110, 1]), Some(2));
+        assert_eq!(first_common_one(&[0, 1 << 3], &[0, 1 << 3]), Some(67));
+        assert_eq!(first_common_one(&[0b01], &[0b10]), None);
+        assert_eq!(first_common_one(&[], &[1]), None);
+    }
+
+    #[test]
+    fn word_ones_crosses_words() {
+        let w = [1u64 | (1 << 63), 0, 1 << 5];
+        let ones: Vec<usize> = WordOnes::new(&w).collect();
+        assert_eq!(ones, vec![0, 63, 133]);
+        assert!(WordOnes::new(&[]).next().is_none());
+    }
+}

@@ -201,7 +201,9 @@ impl ExtPauli {
                 .iter()
                 .map(|t| {
                     let prod = t.pauli.mul(p.pauli());
-                    ExtTerm::new(t.coeff, prod, t.phase.clone() ^ p.phase().clone())
+                    let mut phase = t.phase.clone();
+                    phase ^= p.phase();
+                    ExtTerm::new(t.coeff, prod, phase)
                 })
                 .collect(),
         )
@@ -225,11 +227,9 @@ impl ExtPauli {
                 if b.iodd {
                     prod.add_ipow(1);
                 }
-                terms.push(ExtTerm::new_general(
-                    a.coeff * b.coeff,
-                    prod,
-                    a.phase.clone() ^ b.phase.clone(),
-                ));
+                let mut phase = a.phase.clone();
+                phase ^= &b.phase;
+                terms.push(ExtTerm::new_general(a.coeff * b.coeff, prod, phase));
             }
         }
         ExtPauli::from_terms(terms)

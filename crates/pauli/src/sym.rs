@@ -91,7 +91,9 @@ impl SymPauli {
     /// anticommute — products are only defined within commuting families.
     pub fn mul(&self, other: &SymPauli) -> SymPauli {
         let prod = self.pauli.mul(&other.pauli);
-        SymPauli::new(prod, self.phase.clone() ^ other.phase.clone())
+        let mut phase = self.phase.clone();
+        phase ^= &other.phase;
+        SymPauli::new(prod, phase)
     }
 
     /// Substitutes a classical variable inside the phase.

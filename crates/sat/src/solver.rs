@@ -6,6 +6,8 @@
 
 use crate::heap::ActivityHeap;
 use crate::{LBool, Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Reference to a clause in the solver's arena.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -83,6 +85,26 @@ pub struct SolverStats {
     pub learnts: u64,
 }
 
+impl std::ops::AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        self.conflicts += rhs.conflicts;
+        self.decisions += rhs.decisions;
+        self.propagations += rhs.propagations;
+        self.restarts += rhs.restarts;
+        self.learnts += rhs.learnts;
+    }
+}
+
+impl std::iter::Sum for SolverStats {
+    fn sum<I: Iterator<Item = SolverStats>>(iter: I) -> SolverStats {
+        let mut total = SolverStats::default();
+        for s in iter {
+            total += s;
+        }
+        total
+    }
+}
+
 /// A CDCL SAT solver.
 ///
 /// # Examples
@@ -121,6 +143,9 @@ pub struct Solver {
     model: Vec<LBool>,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
+    /// Cooperative cancellation: when set, [`Solver::solve`] aborts at the
+    /// next conflict/decision boundary with [`SatResult::Unknown`].
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for Solver {
@@ -156,7 +181,25 @@ impl Solver {
             stats: SolverStats::default(),
             model: Vec::new(),
             seen: Vec::new(),
+            stop: None,
         }
+    }
+
+    /// Installs a cooperative stop flag, shared with other solvers or a
+    /// driving thread. The main CDCL loop polls it between propagations —
+    /// i.e. at every conflict/decision boundary — so a solver stuck deep in
+    /// a long subtask aborts promptly (returning [`SatResult::Unknown`])
+    /// instead of only between subtasks. The flag is not cleared by the
+    /// solver; the owner decides when a stop is rescinded.
+    pub fn set_stop_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.stop = Some(flag);
+    }
+
+    /// True when an installed stop flag is currently raised.
+    fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
     /// Allocates a fresh variable.
@@ -539,6 +582,9 @@ impl Solver {
         let mut max_learnts = (self.clauses.len() / 3).max(1000) as u64;
 
         loop {
+            if self.stop_requested() {
+                return SatResult::Unknown;
+            }
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_this_solve += 1;
@@ -756,6 +802,48 @@ mod tests {
             }
         }
         assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn raised_stop_flag_aborts_with_unknown() {
+        // PHP(6,5) is hard enough that the loop runs many iterations; with
+        // the flag pre-raised the solver must bail out immediately.
+        let mut s = Solver::new();
+        let p = |s: &mut Solver, pigeon: usize, hole: usize| lit(s, pigeon * 5 + hole, true);
+        for pigeon in 0..6 {
+            let c: Vec<Lit> = (0..5).map(|h| p(&mut s, pigeon, h)).collect();
+            s.add_clause(c);
+        }
+        for hole in 0..5 {
+            for p1 in 0..6 {
+                for p2 in (p1 + 1)..6 {
+                    let a = p(&mut s, p1, hole);
+                    let b = p(&mut s, p2, hole);
+                    s.add_clause([!a, !b]);
+                }
+            }
+        }
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_stop_flag(flag.clone());
+        assert_eq!(s.solve(&[]), SatResult::Unknown);
+        // Lowering the flag makes the same solver usable again.
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn solver_stats_aggregate() {
+        let a = SolverStats {
+            conflicts: 1,
+            decisions: 2,
+            propagations: 3,
+            restarts: 4,
+            learnts: 5,
+        };
+        let total: SolverStats = [a, a].into_iter().sum();
+        assert_eq!(total.conflicts, 2);
+        assert_eq!(total.propagations, 6);
+        assert_eq!(total.learnts, 10);
     }
 
     #[test]

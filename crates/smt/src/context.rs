@@ -84,6 +84,14 @@ impl SmtContext {
         }
     }
 
+    /// Installs a cooperative stop flag on the underlying solver: when the
+    /// flag is raised, an in-flight [`SmtContext::check`] aborts at the next
+    /// conflict/decision boundary with [`CheckResult::Unknown`]. Used by the
+    /// parallel driver to cancel workers stuck inside a long subtask.
+    pub fn set_stop_flag(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.solver.set_stop_flag(flag);
+    }
+
     /// The SAT literal representing the constant `true`.
     pub fn lit_true(&mut self) -> Lit {
         if let Some(l) = self.true_lit {
@@ -170,6 +178,10 @@ impl SmtContext {
     // ----------------------------------------------------------- affine / XOR
 
     /// Reifies an XOR-affine form into a literal.
+    ///
+    /// `Affine::vars` scans the packed word representation directly, so the
+    /// XOR chain is emitted straight off set-bit positions — no intermediate
+    /// set walk or collection.
     pub fn reify_affine(&mut self, a: &Affine) -> Lit {
         let mut acc: Option<Lit> = None;
         for v in a.vars() {

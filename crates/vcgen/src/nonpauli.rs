@@ -159,7 +159,9 @@ pub fn verify_nonpauli<O: DecoderOracle>(
         let (_, product) = group
             .decompose(single.pauli())
             .ok_or(NonPauliError::NotInGroup { index })?;
-        targets.push(single.phase().clone() ^ product.phase().clone());
+        let mut target = single.phase().clone();
+        target ^= product.phase();
+        targets.push(target);
     }
 
     // ---- Branch enumeration.

@@ -46,27 +46,78 @@ impl ReducedVc {
     /// Without this step a refutation query could "violate" an equation
     /// simply by picking a non-actual branch, producing spurious
     /// counterexamples — or, worse, over-constrain the adversary.
+    ///
+    /// The elimination is genuine GF(2) row reduction over a system
+    /// assembled once: the combined equations (guards ∪ targets) are the
+    /// packed rows — each [`Affine`] *is* a bit-packed row over the
+    /// variable columns — and a single forward pass reduces every row
+    /// against the pivots found so far with word-level masked first-bit
+    /// scans and word XORs (the shared `veriqec_gf2::words` kernels). A row
+    /// that claims an unpivoted or-variable column becomes that variable's
+    /// frozen pivot (a pin); a row that runs out of or-variable bits is a
+    /// residual proof obligation. No per-pivot set clones, no per-element
+    /// tree surgery.
+    ///
+    /// [`veriqec_gf2::BitMatrix::pivot_reduce_masked`] implements the same
+    /// elimination at the explicit-matrix level; a property test
+    /// cross-checks the two paths row for row.
     pub fn resolve_branches(&mut self) {
-        let mut equations: Vec<Affine> = Vec::new();
-        equations.append(&mut self.guards);
-        equations.append(&mut self.targets);
-        let mut pins: Vec<Affine> = Vec::new();
+        let mut system: Vec<Affine> = self
+            .guards
+            .drain(..)
+            .chain(self.targets.drain(..))
+            .collect();
+        if system.is_empty() {
+            return;
+        }
+        // Union (not XOR-sum) of the or-variables: a duplicated entry must
+        // not cancel itself out of the mask.
+        let mut mask = Affine::zero();
         for &s in &self.or_vars {
-            let Some(idx) = equations.iter().position(|e| e.contains(s)) else {
-                continue; // genuinely free branch variable
-            };
-            let pivot = equations.remove(idx);
-            for e in &mut equations {
-                if e.contains(s) {
-                    *e ^= pivot.clone();
+            if !mask.contains(s) {
+                mask.xor_var(s);
+            }
+        }
+        let n_cols = mask.max_var().map_or(0, |v| v.0 as usize + 1);
+        let mut pivot_of: Vec<Option<usize>> = vec![None; n_cols];
+        let mut pivot_rows: Vec<usize> = Vec::new();
+        for r in 0..system.len() {
+            // Each XOR clears the row's lowest or-variable bit and can only
+            // introduce or-bits above it (the pivot's lowest masked bit is
+            // the one being cleared), so this loop terminates.
+            while let Some(v) = system[r].first_var_masked(&mask) {
+                match pivot_of[v.0 as usize] {
+                    Some(p) => {
+                        // XOR the frozen pivot row into row r in place.
+                        debug_assert!(p < r);
+                        let (lo, hi) = system.split_at_mut(r);
+                        hi[0] ^= &lo[p];
+                    }
+                    None => {
+                        pivot_of[v.0 as usize] = Some(r);
+                        pivot_rows.push(r);
+                        break;
+                    }
                 }
             }
-            pins.push(pivot);
         }
-        equations.retain(|e| !e.is_zero());
-        pins.retain(|e| !e.is_zero());
-        self.guards = pins;
-        self.targets = equations;
+        let mut is_pin = vec![false; system.len()];
+        for &r in &pivot_rows {
+            is_pin[r] = true;
+        }
+        // Pivot rows become pins (in discovery order); residual rows — now
+        // free of every or-variable — the remaining proof obligations (in
+        // original order).
+        self.guards = pivot_rows
+            .iter()
+            .map(|&r| std::mem::take(&mut system[r]))
+            .collect();
+        self.targets = system
+            .into_iter()
+            .zip(is_pin)
+            .filter(|(e, pin)| !pin && !e.is_zero())
+            .map(|(e, _)| e)
+            .collect();
     }
 }
 
@@ -125,14 +176,13 @@ pub fn reduce_commuting(lhs: &[SymPauli], wp: &QecAssertion) -> Result<ReducedVc
         let (_, product) = group
             .decompose(single.pauli())
             .ok_or(ReduceError::NotInGroup { index })?;
-        // Entailment needs ψ_j = phase forced by the LHS product.
-        let target = single.phase().clone() ^ product.phase().clone();
+        // Entailment needs ψ_j = phase forced by the LHS product. A
+        // constant-1 target (structural impossibility) is kept like any
+        // other: the solver reports the refutation.
+        let mut target = single.phase().clone();
+        target ^= product.phase();
         if !target.is_zero() {
             targets.push(target);
-        }
-        if single.phase().clone() ^ product.phase().clone() == Affine::one() {
-            // Structurally impossible (constant mismatch): keep it — the
-            // solver will report the refutation.
         }
     }
     Ok(ReducedVc {
@@ -265,5 +315,109 @@ mod resolve_tests {
         vc.resolve_branches();
         assert!(vc.guards.is_empty());
         assert_eq!(vc.targets, vec![Affine::var(e)]);
+    }
+
+    #[test]
+    fn empty_system_is_untouched() {
+        let mut vt = VarTable::new();
+        let s = vt.fresh("s", VarRole::Syndrome);
+        let mut vc = ReducedVc {
+            or_vars: vec![s],
+            guards: vec![],
+            targets: vec![],
+            classical: vec![],
+        };
+        vc.resolve_branches();
+        assert!(vc.guards.is_empty() && vc.targets.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod resolve_proptests {
+    //! `resolve_branches` is pure bookkeeping: pivoting the or-variables out
+    //! must not change which assignments satisfy the combined system
+    //! guards ∪ targets (all equations = 0). It must also agree row for row
+    //! with the explicit-matrix elimination
+    //! [`veriqec_gf2::BitMatrix::pivot_reduce_masked`].
+
+    use super::*;
+    use proptest::prelude::*;
+    use veriqec_cexpr::{CMem, Value};
+    use veriqec_gf2::{BitMatrix, BitVec};
+
+    const NVARS: u32 = 7;
+
+    fn arb_affine() -> impl Strategy<Value = Affine> {
+        (any::<bool>(), proptest::collection::vec(0u32..NVARS, 0..4)).prop_map(|(c, vars)| {
+            let mut a = Affine::constant(c);
+            for v in vars {
+                a.xor_var(VarId(v));
+            }
+            a
+        })
+    }
+
+    fn solutions(equations: &[Affine]) -> Vec<u32> {
+        (0..1u32 << NVARS)
+            .filter(|&bits| {
+                let mut m = CMem::new();
+                for v in 0..NVARS {
+                    m.set(VarId(v), Value::Bool(bits >> v & 1 == 1));
+                }
+                equations.iter().all(|e| !e.eval(&m))
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn resolve_preserves_solution_set(
+            guards in proptest::collection::vec(arb_affine(), 0..4),
+            targets in proptest::collection::vec(arb_affine(), 0..5),
+            or_bits in proptest::collection::vec(0u32..NVARS, 0..4),
+        ) {
+            let mut or_vars: Vec<VarId> = or_bits.into_iter().map(VarId).collect();
+            or_vars.dedup();
+            let before: Vec<Affine> = guards.iter().chain(&targets).cloned().collect();
+            let mut vc = ReducedVc {
+                or_vars,
+                guards,
+                targets,
+                classical: vec![],
+            };
+            vc.resolve_branches();
+            let after: Vec<Affine> = vc.guards.iter().chain(&vc.targets).cloned().collect();
+            prop_assert_eq!(solutions(&before), solutions(&after));
+            // Residual targets mention no or-variable at all: each either
+            // found a pivot (eliminated) or would have claimed one.
+            for t in &vc.targets {
+                for &s in &vc.or_vars {
+                    prop_assert!(!t.contains(s), "target {t} still mentions {s:?}");
+                }
+            }
+            // Cross-check against the explicit BitMatrix elimination.
+            if before.is_empty() {
+                return Ok(());
+            }
+            let width = NVARS as usize;
+            let mut matrix =
+                BitMatrix::from_rows(before.iter().map(|e| e.to_row(width)).collect());
+            let or_cols: Vec<usize> = vc.or_vars.iter().map(|&s| s.0 as usize).collect();
+            let pivots = matrix.pivot_reduce_masked(&BitVec::from_ones(width + 1, &or_cols));
+            let matrix_pins: Vec<Affine> = pivots
+                .iter()
+                .map(|&(_, r)| Affine::from_row(matrix.row(r)))
+                .collect();
+            prop_assert_eq!(&vc.guards, &matrix_pins);
+            let pin_rows: Vec<usize> = pivots.iter().map(|&(_, r)| r).collect();
+            let matrix_residuals: Vec<Affine> = (0..matrix.num_rows())
+                .filter(|r| !pin_rows.contains(r))
+                .map(|r| Affine::from_row(matrix.row(r)))
+                .filter(|e| !e.is_zero())
+                .collect();
+            prop_assert_eq!(&vc.targets, &matrix_residuals);
+        }
     }
 }

@@ -13,7 +13,7 @@
 //! * decoder calls stay uninterpreted and are recorded for the VC layer.
 
 use crate::{conj_ext1, conj_ext2, WpError};
-use veriqec_cexpr::{Affine, BExp, VarId};
+use veriqec_cexpr::{BExp, VarId};
 use veriqec_logic::{bexp_to_affine, QecAssertion};
 use veriqec_pauli::{ExtPauli, ExtTerm, PauliString, SymPauli};
 use veriqec_prog::{DecodeCall, Stmt};
@@ -121,7 +121,7 @@ impl Engine {
                         .map(|t| {
                             let mut phase = t.phase().clone();
                             if t.pauli().anticommutes_with(&error) {
-                                phase ^= guard.clone();
+                                phase ^= &guard;
                             }
                             ExtTerm::new(t.coeff(), t.pauli().clone(), phase)
                         })
@@ -198,7 +198,8 @@ impl Engine {
         // `ReducedVc::resolve_branches` later pins `x` from this equation,
         // which is what makes the refutation encoding sound (the decoder is
         // forced to respond to the real syndrome).
-        let new_phase = g.phase().clone() ^ Affine::var(x);
+        let mut new_phase = g.phase().clone();
+        new_phase.xor_var(x);
         self.a.conjuncts.push(ExtPauli::from_sym(SymPauli::new(
             g.pauli().clone(),
             new_phase,
@@ -220,7 +221,7 @@ fn letter_of(g: veriqec_pauli::Gate1) -> char {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use veriqec_cexpr::{VarRole, VarTable};
+    use veriqec_cexpr::{Affine, VarRole, VarTable};
     use veriqec_pauli::Gate1;
 
     fn plain(s: &str) -> ExtPauli {
