@@ -1,0 +1,48 @@
+//! Incremental vs fresh-encode distance sweeps.
+//!
+//! The engine's [`DetectionSession`] encodes the detection formula (Eqn. 15)
+//! once per code and sweeps the weight threshold as totalizer assumptions;
+//! the baseline re-encodes and re-warms a cold solver for every threshold,
+//! which is exactly what `find_distance` did before the engine layer. The
+//! gap between the two is the per-bound encode + warm-up cost the session
+//! amortizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use veriqec::engine::DetectionSession;
+use veriqec::tasks::{verify_detection, DetectionOutcome, DistanceOutcome};
+use veriqec_codes::rotated_surface;
+use veriqec_sat::SolverConfig;
+
+fn bench_distance_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_sweep");
+    group.sample_size(10);
+    for d in [3usize, 5, 7] {
+        let code = rotated_surface(d);
+        group.bench_function(format!("incremental_d{d}"), |b| {
+            b.iter(|| {
+                let mut session = DetectionSession::new(&code, SolverConfig::default());
+                assert_eq!(session.find_distance(d), DistanceOutcome::Exact(d));
+                assert_eq!(session.encode_count(), 1);
+            })
+        });
+        group.bench_function(format!("fresh_encode_d{d}"), |b| {
+            b.iter(|| {
+                // The pre-engine sweep: one cold context per threshold.
+                let mut found = None;
+                for dt in 2..=d + 1 {
+                    if verify_detection(&code, dt, SolverConfig::default())
+                        != DetectionOutcome::AllDetected
+                    {
+                        found = Some(dt - 1);
+                        break;
+                    }
+                }
+                assert_eq!(found, Some(d));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_sweep);
+criterion_main!(benches);

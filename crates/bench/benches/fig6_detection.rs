@@ -1,9 +1,11 @@
 //! Fig. 6: precise detection of errors (Eqn. 15) on the rotated surface
 //! code — the unsat direction (`d_t = d`) and the counterexample direction
-//! (`d_t = d + 1`).
+//! (`d_t = d + 1`), served by one incremental [`DetectionSession`] per code:
+//! both thresholds are assumption queries on a single base encoding.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use veriqec::tasks::{verify_detection, DetectionOutcome};
+use veriqec::engine::DetectionSession;
+use veriqec::tasks::DetectionOutcome;
 use veriqec_codes::rotated_surface;
 use veriqec_sat::SolverConfig;
 
@@ -12,16 +14,14 @@ fn bench_fig6(c: &mut Criterion) {
     group.sample_size(10);
     for d in [3usize, 5, 7, 9] {
         let code = rotated_surface(d);
-        group.bench_function(format!("detect_unsat_d{d}"), |b| {
+        group.bench_function(format!("session_sweep_d{d}"), |b| {
             b.iter(|| {
-                let out = verify_detection(&code, d, SolverConfig::default());
-                assert_eq!(out, DetectionOutcome::AllDetected);
-            })
-        });
-        group.bench_function(format!("detect_sat_d{d}"), |b| {
-            b.iter(|| {
-                let out = verify_detection(&code, d + 1, SolverConfig::default());
-                assert!(matches!(out, DetectionOutcome::UndetectedLogical { .. }));
+                let mut session = DetectionSession::new(&code, SolverConfig::default());
+                let unsat = session.check(d);
+                assert_eq!(unsat, DetectionOutcome::AllDetected);
+                let sat = session.check(d + 1);
+                assert!(matches!(sat, DetectionOutcome::UndetectedLogical { .. }));
+                assert_eq!(session.encode_count(), 1);
             })
         });
     }

@@ -1,16 +1,22 @@
-//! Regenerates the paper's evaluation tables/figure data as markdown.
+//! Regenerates the paper's evaluation tables/figure data as markdown (plus
+//! machine-readable JSON batch reports from the engine).
 //!
-//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|all] [max_d]`
+//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|quick|all] [max_d]`
+//!
+//! `quick` is the CI smoke mode: a small heterogeneous batch (correction +
+//! detection + distance jobs on small codes) through the engine's shared
+//! worker pool, with outcome assertions.
 
 use std::time::Instant;
 
 use rand::prelude::*;
-use veriqec::parallel::{check_parallel, ParallelConfig};
+use veriqec::engine::{CorrectionSweep, DetectionSession, Engine, EngineConfig, Job, JobOutcome};
+use veriqec::parallel::SplitConfig;
 use veriqec::sampling::{log2_constrained_configurations, sample_scenario};
 use veriqec::scenario::{memory_scenario, ErrorModel};
 use veriqec::tasks::{
-    discreteness_constraint, locality_constraint, verify_constrained, verify_correction,
-    verify_detection, DetectionOutcome,
+    build_problem, discreteness_constraint, locality_constraint, verify_constrained,
+    verify_correction, verify_detection, DetectionOutcome, DistanceOutcome,
 };
 use veriqec_bench::{locality_set, surface_problem, surface_workload};
 use veriqec_codes::{
@@ -19,6 +25,7 @@ use veriqec_codes::{
 };
 use veriqec_decoder::{decode_call_oracle, CssLookupDecoder};
 use veriqec_sat::SolverConfig;
+use veriqec_vcgen::VcOutcome;
 
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
@@ -26,6 +33,10 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(7);
+    if what == "quick" {
+        quick();
+        return;
+    }
     if what == "all" || what == "fig4" {
         fig4(max_d);
     }
@@ -49,51 +60,123 @@ fn main() {
 fn fig4(max_d: usize) {
     println!("\n### Fig. 4 — general verification of the rotated surface code\n");
     println!(
-        "| d | qubits | sequential | parallel | subtasks | conflicts | decisions | propagations |"
+        "| d | qubits | sequential | engine busy | subtasks | conflicts | decisions | propagations |"
     );
     println!(
-        "|---|--------|-----------|----------|----------|-----------|-----------|--------------|"
+        "|---|--------|-----------|-------------|----------|-----------|-----------|--------------|"
     );
-    for d in (3..=max_d).step_by(2) {
+    // Sequential baseline per distance, then the whole family as one engine
+    // batch on a shared worker pool.
+    let ds: Vec<usize> = (3..=max_d).step_by(2).collect();
+    let mut seq_times = Vec::new();
+    let mut jobs = Vec::new();
+    for &d in &ds {
         let (scenario, problem) = surface_problem(d);
         let t0 = Instant::now();
         let (seq, _) = problem.check();
-        let seq_t = t0.elapsed();
-        let cfg = ParallelConfig {
-            heuristic_distance: d,
-            et_threshold: 2 * d + 4,
-            ..ParallelConfig::default()
-        };
-        let par = check_parallel(&problem, &scenario.error_vars, &cfg);
-        assert!(seq.is_verified() && par.outcome.is_verified());
+        assert!(seq.is_verified());
+        seq_times.push(t0.elapsed());
+        jobs.push(Job::correction(
+            format!("surface_d{d}"),
+            problem,
+            scenario.error_vars,
+            SplitConfig {
+                heuristic_distance: d,
+                et_threshold: 2 * d + 4,
+            },
+        ));
+    }
+    let engine = Engine::new(EngineConfig::default());
+    let batch = engine.run(jobs);
+    for ((d, seq_t), job) in ds.iter().zip(&seq_times).zip(&batch.jobs) {
+        assert!(job.outcome.is_verified());
         println!(
             "| {d} | {} | {seq_t:?} | {:?} | {} | {} | {} | {} |",
             d * d,
-            par.wall_time,
-            par.subtasks,
-            par.stats.conflicts,
-            par.stats.decisions,
-            par.stats.propagations,
+            job.busy_time,
+            job.subtasks,
+            job.stats.conflicts,
+            job.stats.decisions,
+            job.stats.propagations,
         );
     }
+    println!(
+        "\nbatch: {} jobs on {} workers in {:?}\n",
+        batch.jobs.len(),
+        batch.workers,
+        batch.wall_time
+    );
+    println!("```json\n{}\n```", batch.to_json());
 }
 
 fn fig6(max_d: usize) {
     println!("\n### Fig. 6 — precise detection on the rotated surface code\n");
-    println!("| d | d_t = d (unsat) | d_t = d+1 (sat, finds logical) |");
-    println!("|---|----------------|-------------------------------|");
+    println!("| d | d_t = d (unsat) | d_t = d+1 (sat, finds logical) | encodings |");
+    println!("|---|----------------|-------------------------------|-----------|");
     for d in (3..=max_d).step_by(2) {
+        // One incremental session per code: both thresholds are assumption
+        // queries on a single base encoding.
         let code = rotated_surface(d);
         let t0 = Instant::now();
-        let a = verify_detection(&code, d, SolverConfig::default());
+        let mut session = DetectionSession::new(&code, SolverConfig::default());
+        let a = session.check(d);
         let ta = t0.elapsed();
         let t0 = Instant::now();
-        let b = verify_detection(&code, d + 1, SolverConfig::default());
+        let b = session.check(d + 1);
         let tb = t0.elapsed();
         assert_eq!(a, DetectionOutcome::AllDetected);
         assert!(matches!(b, DetectionOutcome::UndetectedLogical { .. }));
-        println!("| {d} | {ta:?} | {tb:?} |");
+        println!("| {d} | {ta:?} | {tb:?} | {} |", session.encode_count());
     }
+}
+
+fn quick() {
+    println!("\n### Quick smoke batch (CI) — heterogeneous jobs on the engine pool\n");
+    let steane_scenario = memory_scenario(&steane(), ErrorModel::YErrors);
+    let surface_scenario = memory_scenario(&rotated_surface(3), ErrorModel::YErrors);
+    let jobs = vec![
+        Job::correction(
+            "steane_t1",
+            build_problem(&steane_scenario, 1, vec![]),
+            steane_scenario.error_vars.clone(),
+            SplitConfig::default(),
+        ),
+        Job::correction(
+            "surface3_t1",
+            build_problem(&surface_scenario, 1, vec![]),
+            surface_scenario.error_vars.clone(),
+            SplitConfig::default(),
+        ),
+        Job::detection("five_qubit_dt3", five_qubit(), 3),
+        Job::distance("steane_distance", steane(), 4),
+    ];
+    let engine = Engine::new(EngineConfig::default());
+    let batch = engine.run(jobs);
+    print!("{}", batch.to_markdown());
+    println!("\n```json\n{}\n```", batch.to_json());
+    assert!(batch.jobs[0].outcome.is_verified(), "steane t=1");
+    assert!(batch.jobs[1].outcome.is_verified(), "surface3 t=1");
+    assert!(matches!(
+        batch.jobs[2].outcome,
+        JobOutcome::Detection(DetectionOutcome::AllDetected)
+    ));
+    assert!(matches!(
+        batch.jobs[3].outcome,
+        JobOutcome::Distance(DistanceOutcome::Exact(3))
+    ));
+    // The incremental weight sweep rides along so CI exercises the
+    // assumption-driven path too.
+    let mut sweep = CorrectionSweep::new(&steane_scenario, vec![], SolverConfig::default());
+    assert!(sweep.check_weight(1).is_verified());
+    assert!(matches!(
+        sweep.check_weight(2),
+        VcOutcome::CounterExample(_)
+    ));
+    println!(
+        "\nsteane weight sweep: {} base encoding(s), {} queries",
+        sweep.encode_count(),
+        sweep.query_count()
+    );
 }
 
 fn fig7(max_d: usize) {

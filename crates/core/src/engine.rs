@@ -1,0 +1,1055 @@
+//! The incremental verification engine: persistent solver sessions,
+//! assumption-driven weight sweeps, and the shared batch driver.
+//!
+//! The paper's workloads are *families* of closely related SAT queries —
+//! distance discovery sweeps a weight threshold, the §6 parallel task sweeps
+//! enumeration cubes, the evaluation sweeps a whole code zoo. This module
+//! makes the family, not the single query, the unit of work:
+//!
+//! * [`DetectionSession`] — the precise-detection formula (Eqn. 15) encoded
+//!   once per code; every threshold `dt` is an assumption on one shared
+//!   cardinality handle, so a distance sweep pays encode + solver warm-up
+//!   exactly once and reuses learnt clauses across bounds.
+//! * [`CorrectionSweep`] — the same discipline for the general/constrained
+//!   tasks: one [`VcSession`] per (scenario, constraints), weight bounds
+//!   swept as assumptions.
+//! * [`Engine`] — a batch driver owning one worker pool that serves a queue
+//!   of heterogeneous [`Job`]s (code-zoo × error-model × task sweeps).
+//!   Correction jobs stream their enumeration cubes lazily from
+//!   [`SubtaskIter`]; each worker keeps one persistent session per job.
+//!   Cancellation is cooperative at both levels (whole batch, single job on
+//!   its first counterexample), statistics are per-job, and
+//!   [`BatchReport`] renders as markdown or machine-readable JSON.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use veriqec_cexpr::{Affine, BExp, CMem, VarId, VarRole, VarTable};
+use veriqec_codes::StabilizerCode;
+use veriqec_sat::{Lit, SolverConfig, SolverStats};
+use veriqec_smt::{CardinalityHandle, CheckResult, SmtContext};
+use veriqec_vcgen::{VcOutcome, VcProblem, VcSession};
+
+use crate::parallel::{SplitConfig, SubtaskIter};
+use crate::scenario::Scenario;
+use crate::tasks::{build_problem_unbounded, DetectionOutcome, DistanceOutcome};
+
+// ------------------------------------------------------------------ sessions
+
+/// An incremental precise-detection session (Eqn. 15) for one code.
+///
+/// The syndrome-zero equations, the logical-flip disjunction and a single
+/// support totalizer are encoded once at construction; each
+/// [`DetectionSession::check`] call decides one threshold `dt` by assuming
+/// `Σ support ≤ dt − 1` on the shared [`CardinalityHandle`]. Distance
+/// discovery ([`DetectionSession::find_distance`]) is therefore one base
+/// encoding plus a sequence of assumption-only queries, with learnt clauses
+/// carried across the sweep.
+#[derive(Clone, Debug)]
+pub struct DetectionSession {
+    ctx: SmtContext,
+    ex: Vec<VarId>,
+    ez: Vec<VarId>,
+    support: CardinalityHandle,
+    encodes: usize,
+    queries: usize,
+}
+
+impl DetectionSession {
+    /// Encodes the detection formula for `code` once.
+    pub fn new(code: &StabilizerCode, config: SolverConfig) -> Self {
+        let n = code.n();
+        let mut vt = VarTable::new();
+        let ex: Vec<VarId> = (0..n)
+            .map(|q| vt.fresh_indexed("ex", q, VarRole::Error))
+            .collect();
+        let ez: Vec<VarId> = (0..n)
+            .map(|q| vt.fresh_indexed("ez", q, VarRole::Error))
+            .collect();
+        let mut ctx = SmtContext::with_config(config);
+        // Support indicators: qubit q carries any error component.
+        let support_lits: Vec<Lit> = (0..n)
+            .map(|q| {
+                let lx = ctx.lit_of(ex[q]);
+                let lz = ctx.lit_of(ez[q]);
+                ctx.reify_disj(&[lx, lz])
+            })
+            .collect();
+        // One totalizer serves the whole sweep: the lower bound (≥ 1) is
+        // constant and baked in, the upper bound arrives per query as an
+        // assumption.
+        let support = ctx.cardinality(&support_lits);
+        if let Some(l) = support.at_least(1) {
+            ctx.add_clause([l]);
+        }
+        // All syndromes zero: the error commutes with every generator.
+        for g in code.generators() {
+            let mut aff = Affine::zero();
+            for q in 0..n {
+                if g.pauli().x_bit(q) {
+                    aff.xor_var(ez[q]);
+                }
+                if g.pauli().z_bit(q) {
+                    aff.xor_var(ex[q]);
+                }
+            }
+            ctx.assert_affine_eq(&aff, false);
+        }
+        // Some logical operator anticommutes with the error.
+        let mut flips = Vec::new();
+        for l in code.logical_x().iter().chain(code.logical_z()) {
+            let mut aff = Affine::zero();
+            for q in 0..n {
+                if l.pauli().x_bit(q) {
+                    aff.xor_var(ez[q]);
+                }
+                if l.pauli().z_bit(q) {
+                    aff.xor_var(ex[q]);
+                }
+            }
+            flips.push(ctx.reify_affine(&aff));
+        }
+        ctx.add_clause(flips);
+        DetectionSession {
+            ctx,
+            ex,
+            ez,
+            support,
+            encodes: 1,
+            queries: 0,
+        }
+    }
+
+    /// Decides threshold `dt`: does an undetected logical error of weight
+    /// in `[1, dt − 1]` exist? Solver-budget exhaustion reports
+    /// [`DetectionOutcome::Inconclusive`] — never a silent `AllDetected`.
+    pub fn check(&mut self, dt: usize) -> DetectionOutcome {
+        self.queries += 1;
+        let assumptions: Vec<Lit> = self.support.at_most(dt as i64 - 1).into_iter().collect();
+        match self.ctx.check(&assumptions) {
+            CheckResult::Unsat => DetectionOutcome::AllDetected,
+            CheckResult::Sat => {
+                let m = self.ctx.model();
+                let sup = |vars: &[VarId], m: &CMem| {
+                    vars.iter()
+                        .enumerate()
+                        .filter_map(|(q, &v)| m.get(v).as_bool().then_some(q))
+                        .collect::<Vec<_>>()
+                };
+                DetectionOutcome::UndetectedLogical {
+                    x_support: sup(&self.ex, &m),
+                    z_support: sup(&self.ez, &m),
+                }
+            }
+            CheckResult::Unknown => DetectionOutcome::Inconclusive,
+        }
+    }
+
+    /// Sweeps `dt` upward until an undetected logical error appears — the
+    /// paper's distance-discovery workflow, incremental: one base encoding,
+    /// `max` assumption queries.
+    pub fn find_distance(&mut self, max: usize) -> DistanceOutcome {
+        for dt in 2..=max + 1 {
+            match self.check(dt) {
+                DetectionOutcome::AllDetected => {}
+                DetectionOutcome::UndetectedLogical { .. } => {
+                    return DistanceOutcome::Exact(dt - 1)
+                }
+                DetectionOutcome::Inconclusive => {
+                    // The last UNSAT answer was at dt − 1, which proves
+                    // weights < dt − 1 detected; claiming `dt` here would
+                    // silently extend the detection claim by one weight.
+                    return DistanceOutcome::Inconclusive {
+                        verified_below: dt - 1,
+                    };
+                }
+            }
+        }
+        DistanceOutcome::AtLeast(max + 1)
+    }
+
+    /// Installs a cooperative stop flag (see [`SmtContext::set_stop_flag`]);
+    /// an aborted query reports [`DetectionOutcome::Inconclusive`].
+    pub fn set_stop_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.ctx.set_stop_flag(flag);
+    }
+
+    /// Number of base encodings performed (always 1; exposed so sweep tests
+    /// can assert nothing was re-encoded).
+    pub fn encode_count(&self) -> usize {
+        self.encodes
+    }
+
+    /// Number of [`DetectionSession::check`] queries so far.
+    pub fn query_count(&self) -> usize {
+        self.queries
+    }
+
+    /// Statistics of the underlying solver.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.ctx.solver_stats()
+    }
+}
+
+/// An incremental weight sweep over the general/constrained correction task.
+///
+/// The base formula (guards, decoder condition `P_f`, any locality or
+/// discreteness constraints, refutation goal) is encoded once into a
+/// [`VcSession`]; the error-weight bound `Σe ≤ t` — baked into the CNF by
+/// the one-shot [`crate::tasks::verify_correction`] path — becomes an
+/// assumption on a shared cardinality handle, so one session answers every
+/// budget `t`.
+#[derive(Clone, Debug)]
+pub struct CorrectionSweep {
+    session: VcSession,
+    weight: CardinalityHandle,
+}
+
+impl CorrectionSweep {
+    /// Encodes the scenario (with optional extra constraints such as
+    /// [`crate::tasks::locality_constraint`] /
+    /// [`crate::tasks::discreteness_constraint`]) once, leaving the weight
+    /// bound open.
+    pub fn new(scenario: &Scenario, constraints: Vec<BExp>, config: SolverConfig) -> Self {
+        let problem = build_problem_unbounded(scenario, constraints);
+        let mut session = problem.session(config);
+        let lits: Vec<Lit> = scenario
+            .error_vars
+            .iter()
+            .map(|&v| session.ctx_mut().lit_of(v))
+            .collect();
+        let weight = session.ctx_mut().cardinality(&lits);
+        CorrectionSweep { session, weight }
+    }
+
+    /// Decides the task under the budget `Σe ≤ max_errors`.
+    pub fn check_weight(&mut self, max_errors: i64) -> VcOutcome {
+        let assumptions: Vec<Lit> = self.weight.at_most(max_errors).into_iter().collect();
+        self.session.query(&assumptions)
+    }
+
+    /// Number of base encodings performed (always 1).
+    pub fn encode_count(&self) -> usize {
+        self.session.encode_count()
+    }
+
+    /// Number of weight queries so far.
+    pub fn query_count(&self) -> usize {
+        self.session.query_count()
+    }
+
+    /// The underlying session (problem-size and solver statistics).
+    pub fn session(&self) -> &VcSession {
+        &self.session
+    }
+}
+
+// -------------------------------------------------------------- batch driver
+
+/// Configuration of the batch [`Engine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads in the engine-owned pool.
+    pub workers: usize,
+    /// Solver configuration for every session the engine opens.
+    pub solver: SolverConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// A named unit of work for the batch driver.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Human-readable identifier, echoed in reports.
+    pub name: String,
+    /// What to verify.
+    pub kind: JobKind,
+}
+
+/// The task behind a [`Job`].
+#[derive(Clone, Debug)]
+pub enum JobKind {
+    /// General verification by parallel enumeration over `enum_vars`
+    /// (typically the scenario's error indicators): cubes stream lazily to
+    /// the pool, every worker holds one persistent session for the problem.
+    Correction {
+        /// The assembled problem (error model baked in).
+        problem: VcProblem,
+        /// Variables enumerated by the `ET` split.
+        enum_vars: Vec<VarId>,
+        /// Split parameters.
+        split: SplitConfig,
+    },
+    /// One precise-detection query at threshold `dt`.
+    Detection {
+        /// The code under test.
+        code: StabilizerCode,
+        /// Detection threshold.
+        dt: usize,
+    },
+    /// Incremental distance discovery up to `max`.
+    Distance {
+        /// The code under test.
+        code: StabilizerCode,
+        /// Largest weight to sweep.
+        max: usize,
+    },
+}
+
+impl Job {
+    /// A general-verification job.
+    pub fn correction(
+        name: impl Into<String>,
+        problem: VcProblem,
+        enum_vars: Vec<VarId>,
+        split: SplitConfig,
+    ) -> Job {
+        Job {
+            name: name.into(),
+            kind: JobKind::Correction {
+                problem,
+                enum_vars,
+                split,
+            },
+        }
+    }
+
+    /// A single precise-detection job.
+    pub fn detection(name: impl Into<String>, code: StabilizerCode, dt: usize) -> Job {
+        Job {
+            name: name.into(),
+            kind: JobKind::Detection { code, dt },
+        }
+    }
+
+    /// An incremental distance-sweep job.
+    pub fn distance(name: impl Into<String>, code: StabilizerCode, max: usize) -> Job {
+        Job {
+            name: name.into(),
+            kind: JobKind::Distance { code, max },
+        }
+    }
+}
+
+/// Outcome of one [`Job`].
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// Correction: every subtask refuted.
+    Verified,
+    /// Correction: a violating assignment was found.
+    CounterExample(CMem),
+    /// Correction: some subtask exhausted its solver budget.
+    Unknown,
+    /// Detection result.
+    Detection(DetectionOutcome),
+    /// Distance-sweep result.
+    Distance(DistanceOutcome),
+    /// The batch was cancelled before this job completed.
+    Cancelled,
+}
+
+impl JobOutcome {
+    /// True for [`JobOutcome::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, JobOutcome::Verified)
+    }
+
+    /// Collapses to the sequential driver's [`VcOutcome`] (used by
+    /// [`crate::parallel::check_parallel`]); detection/distance outcomes and
+    /// cancellation map to [`VcOutcome::Unknown`].
+    pub fn into_vc(self) -> VcOutcome {
+        match self {
+            JobOutcome::Verified => VcOutcome::Verified,
+            JobOutcome::CounterExample(m) => VcOutcome::CounterExample(m),
+            _ => VcOutcome::Unknown,
+        }
+    }
+
+    /// Short machine-readable tag for reports.
+    fn tag(&self) -> &'static str {
+        match self {
+            JobOutcome::Verified => "verified",
+            JobOutcome::CounterExample(_) => "counterexample",
+            JobOutcome::Unknown => "unknown",
+            JobOutcome::Detection(DetectionOutcome::AllDetected) => "all_detected",
+            JobOutcome::Detection(DetectionOutcome::UndetectedLogical { .. }) => {
+                "undetected_logical"
+            }
+            JobOutcome::Detection(DetectionOutcome::Inconclusive) => "inconclusive",
+            JobOutcome::Distance(DistanceOutcome::Exact(_)) => "distance_exact",
+            JobOutcome::Distance(DistanceOutcome::AtLeast(_)) => "distance_at_least",
+            JobOutcome::Distance(DistanceOutcome::Inconclusive { .. }) => "distance_inconclusive",
+            JobOutcome::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Per-job result within a [`BatchReport`].
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The job's name.
+    pub name: String,
+    /// The job's outcome.
+    pub outcome: JobOutcome,
+    /// Work items issued (enumeration cubes for correction jobs, 1 for
+    /// detection/distance jobs claimed by a worker, 0 if never started).
+    pub subtasks: usize,
+    /// Summed worker time spent on this job (CPU-side, not wall clock).
+    pub busy_time: Duration,
+    /// Solver statistics summed over every session that served this job.
+    pub stats: SolverStats,
+}
+
+/// Result of one [`Engine::run`] batch.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job reports, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// Wall-clock time of the whole batch.
+    pub wall_time: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl BatchReport {
+    /// Solver statistics summed across all jobs.
+    pub fn total_stats(&self) -> SolverStats {
+        self.jobs.iter().map(|j| j.stats).sum()
+    }
+
+    /// Renders the batch as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| job | outcome | subtasks | busy | conflicts | decisions |\n");
+        out.push_str("|-----|---------|----------|------|-----------|-----------|\n");
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:?} | {} | {} |\n",
+                j.name,
+                j.outcome.tag(),
+                j.subtasks,
+                j.busy_time,
+                j.stats.conflicts,
+                j.stats.decisions,
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} jobs on {} workers in {:?}\n",
+            self.jobs.len(),
+            self.workers,
+            self.wall_time
+        ));
+        out
+    }
+
+    /// Renders the batch as machine-readable JSON (stable field names; no
+    /// external serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"wall_time_ms\":{:.3},\"workers\":{},\"jobs\":[",
+            self.wall_time.as_secs_f64() * 1e3,
+            self.workers
+        ));
+        for (i, j) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"outcome\":\"{}\"",
+                json_escape(&j.name),
+                j.outcome.tag()
+            ));
+            match &j.outcome {
+                JobOutcome::Distance(DistanceOutcome::Exact(d)) => {
+                    out.push_str(&format!(",\"distance\":{d}"));
+                }
+                JobOutcome::Distance(DistanceOutcome::AtLeast(d)) => {
+                    out.push_str(&format!(",\"distance_at_least\":{d}"));
+                }
+                JobOutcome::Distance(DistanceOutcome::Inconclusive { verified_below }) => {
+                    out.push_str(&format!(",\"verified_below\":{verified_below}"));
+                }
+                JobOutcome::Detection(DetectionOutcome::UndetectedLogical {
+                    x_support,
+                    z_support,
+                }) => {
+                    out.push_str(&format!(
+                        ",\"x_support\":{x_support:?},\"z_support\":{z_support:?}"
+                    ));
+                }
+                _ => {}
+            }
+            out.push_str(&format!(
+                ",\"subtasks\":{},\"busy_ms\":{:.3},\"conflicts\":{},\"decisions\":{},\"propagations\":{},\"restarts\":{}}}",
+                j.subtasks,
+                j.busy_time.as_secs_f64() * 1e3,
+                j.stats.conflicts,
+                j.stats.decisions,
+                j.stats.propagations,
+                j.stats.restarts,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------- the work queue
+
+/// A claimable work item: one enumeration cube of a correction job, or the
+/// whole of a detection/distance job.
+enum WorkItem {
+    Cube(usize, Vec<(VarId, bool)>),
+    Whole(usize),
+}
+
+/// Where a job's remaining work comes from.
+enum JobSource {
+    /// Lazily streamed enumeration cubes.
+    Cubes(SubtaskIter),
+    /// A single indivisible item, claimed at most once.
+    Whole { claimed: bool },
+    /// Nothing left to hand out.
+    Exhausted,
+}
+
+/// Shared per-job state while a batch runs.
+struct JobState {
+    name: String,
+    kind: JobKind,
+    /// Raised on the job's first counterexample or on batch cancellation;
+    /// doubles as the cooperative stop flag of every session serving the job.
+    cancel: Arc<AtomicBool>,
+    source: Mutex<JobSource>,
+    outcome: Mutex<Option<JobOutcome>>,
+    stats: Mutex<SolverStats>,
+    busy: Mutex<Duration>,
+    issued: AtomicUsize,
+}
+
+impl JobState {
+    fn new(job: Job) -> Self {
+        let source = match &job.kind {
+            JobKind::Correction {
+                enum_vars, split, ..
+            } => JobSource::Cubes(SubtaskIter::new(enum_vars.clone(), *split)),
+            JobKind::Detection { .. } | JobKind::Distance { .. } => {
+                JobSource::Whole { claimed: false }
+            }
+        };
+        JobState {
+            name: job.name,
+            kind: job.kind,
+            cancel: Arc::new(AtomicBool::new(false)),
+            source: Mutex::new(source),
+            outcome: Mutex::new(None),
+            stats: Mutex::new(SolverStats::default()),
+            busy: Mutex::new(Duration::ZERO),
+            issued: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records `outcome` unless one is already present — except that a
+    /// counterexample always wins over a previously recorded `Unknown`
+    /// (another worker's budget exhaustion must not mask a real violation).
+    fn record(&self, outcome: JobOutcome) {
+        let mut o = self.outcome.lock().expect("poisoned");
+        let displaces = matches!(outcome, JobOutcome::CounterExample(_))
+            && matches!(*o, Some(JobOutcome::Unknown));
+        if o.is_none() || displaces {
+            *o = Some(outcome);
+        }
+    }
+}
+
+/// Claims the next work item, scanning jobs in submission order (so a batch
+/// drains front-to-back, with later jobs picked up as soon as workers free
+/// up or earlier jobs cancel).
+fn next_item(states: &[JobState]) -> Option<WorkItem> {
+    for (j, st) in states.iter().enumerate() {
+        if st.cancel.load(Ordering::Relaxed) {
+            continue;
+        }
+        let mut src = st.source.lock().expect("poisoned");
+        match &mut *src {
+            JobSource::Cubes(iter) => {
+                if let Some(cube) = iter.next() {
+                    st.issued.fetch_add(1, Ordering::Relaxed);
+                    return Some(WorkItem::Cube(j, cube));
+                }
+                *src = JobSource::Exhausted;
+            }
+            JobSource::Whole { claimed } if !*claimed => {
+                *claimed = true;
+                st.issued.fetch_add(1, Ordering::Relaxed);
+                return Some(WorkItem::Whole(j));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The shared batch driver: one worker pool serving a queue of heterogeneous
+/// verification jobs.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given pool configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The batch-level cancel flag: raising it (from any thread, e.g. a
+    /// signal handler or a deadline watchdog) aborts in-flight solver calls
+    /// cooperatively and drains the queue without starting new work.
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// Runs a batch of jobs to completion (or cancellation) on the
+    /// engine-owned worker pool and reports per-job outcomes and statistics.
+    pub fn run(&self, jobs: Vec<Job>) -> BatchReport {
+        let start = Instant::now();
+        let states: Vec<JobState> = jobs.into_iter().map(JobState::new).collect();
+        let workers = self.config.workers.max(1);
+        let active = AtomicUsize::new(workers);
+        let done = Mutex::new(false);
+        let done_cv = std::sync::Condvar::new();
+        // Signals worker exit from a destructor so the countdown also runs
+        // when a worker unwinds on panic — otherwise the watchdog below
+        // would wait forever and `thread::scope` could never join to
+        // propagate the panic.
+        struct WorkerExit<'a> {
+            active: &'a AtomicUsize,
+            done: &'a Mutex<bool>,
+            done_cv: &'a std::sync::Condvar,
+        }
+        impl Drop for WorkerExit<'_> {
+            fn drop(&mut self) {
+                if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    *self
+                        .done
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+                    self.done_cv.notify_all();
+                }
+            }
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let _exit = WorkerExit {
+                        active: &active,
+                        done: &done,
+                        done_cv: &done_cv,
+                    };
+                    self.worker(&states);
+                });
+            }
+            // Watchdog: the solvers poll only the per-job flags, so a batch
+            // cancel raised while every worker is mid-solve must be fanned
+            // out here — the workers' own loop-top check never runs then.
+            // Exits immediately when the last worker signals completion;
+            // otherwise re-checks the cancel flag every millisecond.
+            scope.spawn(|| {
+                let mut finished = done
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                while !*finished {
+                    if self.cancel.load(Ordering::Relaxed) {
+                        for st in &states {
+                            st.cancel.store(true, Ordering::Relaxed);
+                        }
+                        break;
+                    }
+                    finished = match done_cv.wait_timeout(finished, Duration::from_millis(1)) {
+                        Ok((guard, _)) => guard,
+                        Err(poisoned) => poisoned.into_inner().0,
+                    };
+                }
+            });
+        });
+        let batch_cancelled = self.cancel.load(Ordering::Relaxed);
+        let jobs = states
+            .into_iter()
+            .map(|st| {
+                let recorded = st.outcome.into_inner().expect("poisoned");
+                let cancelled = batch_cancelled || st.cancel.load(Ordering::Relaxed);
+                let outcome = match recorded {
+                    Some(o) => o,
+                    // No recorded outcome: either the job ran all its cubes
+                    // without a violation (correction ⇒ verified) or it was
+                    // cancelled before completing.
+                    None if cancelled => JobOutcome::Cancelled,
+                    None => match st.kind {
+                        JobKind::Correction { .. } => JobOutcome::Verified,
+                        _ => JobOutcome::Cancelled,
+                    },
+                };
+                JobReport {
+                    name: st.name,
+                    outcome,
+                    subtasks: st.issued.into_inner(),
+                    busy_time: st.busy.into_inner().expect("poisoned"),
+                    stats: st.stats.into_inner().expect("poisoned"),
+                }
+            })
+            .collect();
+        BatchReport {
+            jobs,
+            wall_time: start.elapsed(),
+            workers,
+        }
+    }
+
+    /// One worker: claim items until the queue drains or the batch cancels.
+    /// Correction jobs get one persistent [`VcSession`] per worker (base
+    /// encoded once, cubes arrive as assumptions).
+    fn worker(&self, states: &[JobState]) {
+        let mut sessions: HashMap<usize, VcSession> = HashMap::new();
+        loop {
+            if self.cancel.load(Ordering::Relaxed) {
+                for st in states {
+                    st.cancel.store(true, Ordering::Relaxed);
+                }
+                break;
+            }
+            let Some(item) = next_item(states) else {
+                break;
+            };
+            let t0 = Instant::now();
+            let job_idx = match item {
+                WorkItem::Cube(j, cube) => {
+                    let st = &states[j];
+                    let session = sessions.entry(j).or_insert_with(|| {
+                        let JobKind::Correction { problem, .. } = &st.kind else {
+                            unreachable!("cubes only stream from correction jobs")
+                        };
+                        let mut s = problem.session(self.config.solver);
+                        s.set_stop_flag(Arc::clone(&st.cancel));
+                        s
+                    });
+                    let assumptions: Vec<Lit> = cube
+                        .iter()
+                        .map(|&(v, val)| {
+                            let l = session.ctx_mut().lit_of(v);
+                            if val {
+                                l
+                            } else {
+                                !l
+                            }
+                        })
+                        .collect();
+                    match session.query(&assumptions) {
+                        VcOutcome::Verified => {}
+                        VcOutcome::CounterExample(m) => {
+                            st.record(JobOutcome::CounterExample(m));
+                            st.cancel.store(true, Ordering::Relaxed);
+                        }
+                        VcOutcome::Unknown => {
+                            // Either a genuine budget exhaustion or a
+                            // cooperative abort after cancellation; in the
+                            // latter case a real outcome is already recorded
+                            // and wins.
+                            if !st.cancel.load(Ordering::Relaxed) {
+                                st.record(JobOutcome::Unknown);
+                            }
+                        }
+                    }
+                    j
+                }
+                WorkItem::Whole(j) => {
+                    let st = &states[j];
+                    match &st.kind {
+                        JobKind::Detection { code, dt } => {
+                            let mut s = DetectionSession::new(code, self.config.solver);
+                            s.set_stop_flag(Arc::clone(&st.cancel));
+                            let out = s.check(*dt);
+                            *st.stats.lock().expect("poisoned") += s.solver_stats();
+                            st.record(JobOutcome::Detection(out));
+                        }
+                        JobKind::Distance { code, max } => {
+                            let mut s = DetectionSession::new(code, self.config.solver);
+                            s.set_stop_flag(Arc::clone(&st.cancel));
+                            let out = s.find_distance(*max);
+                            *st.stats.lock().expect("poisoned") += s.solver_stats();
+                            st.record(JobOutcome::Distance(out));
+                        }
+                        JobKind::Correction { .. } => {
+                            unreachable!("correction jobs stream cubes")
+                        }
+                    }
+                    j
+                }
+            };
+            *states[job_idx].busy.lock().expect("poisoned") += t0.elapsed();
+        }
+        // Fold this worker's session statistics into their jobs.
+        for (j, s) in sessions {
+            *states[j].stats.lock().expect("poisoned") += s.solver_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{memory_scenario, ErrorModel};
+    use crate::tasks::{build_problem, verify_correction, verify_detection};
+    use veriqec_codes::{rotated_surface, steane};
+
+    #[test]
+    fn detection_session_sweep_is_single_encode() {
+        let code = rotated_surface(3);
+        let mut session = DetectionSession::new(&code, SolverConfig::default());
+        let out = session.find_distance(4);
+        assert_eq!(out, DistanceOutcome::Exact(3));
+        assert_eq!(session.encode_count(), 1, "one base encoding per code");
+        assert_eq!(session.query_count(), 3, "dt = 2, 3, 4");
+    }
+
+    #[test]
+    fn detection_session_matches_fresh_solves() {
+        let code = steane();
+        let mut session = DetectionSession::new(&code, SolverConfig::default());
+        for dt in 2..=5 {
+            let incremental = session.check(dt);
+            let fresh = verify_detection(&code, dt, SolverConfig::default());
+            assert_eq!(
+                std::mem::discriminant(&incremental),
+                std::mem::discriminant(&fresh),
+                "dt={dt}: {incremental:?} vs {fresh:?}"
+            );
+        }
+        assert_eq!(session.encode_count(), 1);
+    }
+
+    #[test]
+    fn correction_sweep_matches_fresh_solves() {
+        let scenario = memory_scenario(&steane(), ErrorModel::YErrors);
+        let mut sweep = CorrectionSweep::new(&scenario, vec![], SolverConfig::default());
+        for t in 0..=2i64 {
+            let incremental = sweep.check_weight(t);
+            let fresh = verify_correction(&scenario, t, SolverConfig::default()).outcome;
+            assert_eq!(
+                std::mem::discriminant(&incremental),
+                std::mem::discriminant(&fresh),
+                "t={t}: {incremental:?} vs {fresh:?}"
+            );
+        }
+        // Sweeping down again after the SAT answer stays correct.
+        assert!(sweep.check_weight(1).is_verified());
+        assert_eq!(sweep.encode_count(), 1);
+        assert_eq!(sweep.query_count(), 4);
+    }
+
+    #[test]
+    fn batch_agrees_with_sequential_on_steane_and_surface() {
+        let steane_scenario = memory_scenario(&steane(), ErrorModel::YErrors);
+        let surface_scenario = memory_scenario(&rotated_surface(3), ErrorModel::YErrors);
+        let jobs = vec![
+            Job::correction(
+                "steane_t1",
+                build_problem(&steane_scenario, 1, vec![]),
+                steane_scenario.error_vars.clone(),
+                SplitConfig {
+                    heuristic_distance: 3,
+                    et_threshold: 8,
+                },
+            ),
+            Job::correction(
+                "steane_t2",
+                build_problem(&steane_scenario, 2, vec![]),
+                steane_scenario.error_vars.clone(),
+                SplitConfig::default(),
+            ),
+            Job::correction(
+                "surface3_t1",
+                build_problem(&surface_scenario, 1, vec![]),
+                surface_scenario.error_vars.clone(),
+                SplitConfig::default(),
+            ),
+            Job::detection("steane_dt3", steane(), 3),
+            Job::distance("surface3_distance", rotated_surface(3), 4),
+        ];
+        let engine = Engine::new(EngineConfig {
+            workers: 4,
+            solver: SolverConfig::default(),
+        });
+        let report = engine.run(jobs);
+        assert_eq!(report.jobs.len(), 5);
+        // Sequential ground truth.
+        assert!(report.jobs[0].outcome.is_verified(), "steane t=1 verifies");
+        assert!(
+            matches!(report.jobs[1].outcome, JobOutcome::CounterExample(_)),
+            "steane t=2 must fail: {:?}",
+            report.jobs[1].outcome
+        );
+        assert!(report.jobs[2].outcome.is_verified(), "surface3 t=1");
+        assert!(matches!(
+            report.jobs[3].outcome,
+            JobOutcome::Detection(DetectionOutcome::AllDetected)
+        ));
+        assert!(matches!(
+            report.jobs[4].outcome,
+            JobOutcome::Distance(DistanceOutcome::Exact(3))
+        ));
+        // Per-job stats reflect real work; reports render.
+        assert!(report.total_stats().propagations > 0);
+        let json = report.to_json();
+        for name in [
+            "steane_t1",
+            "steane_t2",
+            "surface3_t1",
+            "steane_dt3",
+            "surface3_distance",
+        ] {
+            assert!(json.contains(name), "JSON report must mention {name}");
+        }
+        assert!(json.contains("\"distance\":3"));
+        assert!(report.to_markdown().contains("| steane_t1 | verified |"));
+    }
+
+    #[test]
+    fn pre_cancelled_engine_reports_cancelled_jobs() {
+        let scenario = memory_scenario(&steane(), ErrorModel::YErrors);
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            solver: SolverConfig::default(),
+        });
+        engine.cancel_flag().store(true, Ordering::Relaxed);
+        let report = engine.run(vec![
+            Job::correction(
+                "cancelled_correction",
+                build_problem(&scenario, 1, vec![]),
+                scenario.error_vars.clone(),
+                SplitConfig::default(),
+            ),
+            Job::distance("cancelled_distance", steane(), 4),
+        ]);
+        for job in &report.jobs {
+            assert!(
+                matches!(job.outcome, JobOutcome::Cancelled),
+                "{}: {:?}",
+                job.name,
+                job.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::scenario::{memory_scenario, ErrorModel};
+    use crate::tasks::{verify_correction, verify_detection};
+    use proptest::prelude::*;
+    use veriqec_codes::{
+        five_qubit, gottesman8, rotated_surface, shor9, six_qubit, steane, xzzx_surface,
+        StabilizerCode,
+    };
+
+    fn zoo(idx: usize) -> StabilizerCode {
+        match idx % 7 {
+            0 => steane(),
+            1 => five_qubit(),
+            2 => six_qubit(),
+            3 => shor9(),
+            4 => gottesman8(),
+            5 => rotated_surface(3),
+            _ => xzzx_surface(3),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn incremental_detection_sweep_agrees_with_fresh_solves(
+            code_idx in 0usize..7,
+            max_dt in 2usize..6,
+        ) {
+            // One session swept over dt must answer exactly like a cold
+            // re-encode at every threshold, across the code zoo.
+            let code = zoo(code_idx);
+            let mut session = DetectionSession::new(&code, SolverConfig::default());
+            for dt in 2..=max_dt {
+                let incremental = session.check(dt);
+                let fresh = verify_detection(&code, dt, SolverConfig::default());
+                prop_assert!(
+                    std::mem::discriminant(&incremental) == std::mem::discriminant(&fresh),
+                    "{} dt={}: {:?} vs {:?}",
+                    code.name(), dt, incremental, fresh
+                );
+            }
+            prop_assert_eq!(session.encode_count(), 1);
+        }
+
+        #[test]
+        fn incremental_weight_sweep_agrees_with_fresh_solves(
+            code_idx in 0usize..3,
+            budgets in proptest::collection::vec(0i64..3, 1..4),
+        ) {
+            // Weight bounds as assumptions vs baked-in clauses, in an
+            // arbitrary (not necessarily monotone) query order.
+            let code = zoo(code_idx);
+            let scenario = memory_scenario(&code, ErrorModel::YErrors);
+            let mut sweep = CorrectionSweep::new(&scenario, vec![], SolverConfig::default());
+            for &t in &budgets {
+                let incremental = sweep.check_weight(t);
+                let fresh = verify_correction(&scenario, t, SolverConfig::default()).outcome;
+                prop_assert!(
+                    std::mem::discriminant(&incremental) == std::mem::discriminant(&fresh),
+                    "{} t={}: {:?} vs {:?}",
+                    code.name(), t, incremental, fresh
+                );
+            }
+            prop_assert_eq!(sweep.encode_count(), 1);
+        }
+    }
+}

@@ -7,9 +7,12 @@
 //! backward to a normal-form precondition; `veriqec_vcgen` reduces the
 //! entailment to classical GF(2) equations (§5.1) and discharges them on the
 //! built-in CDCL solver with the minimum-weight decoder specification `P_f`;
-//! [`parallel`] splits the general task with the paper's `ET` enumeration
-//! heuristic; [`sampling`] provides the simulation/testing baseline of the
-//! §7.2 comparison.
+//! [`engine`] makes query *families* the unit of work — persistent solver
+//! sessions, assumption-driven weight sweeps, and a batch driver whose
+//! worker pool serves heterogeneous jobs; [`parallel`] splits the general
+//! task with the paper's `ET` enumeration heuristic (streamed lazily to that
+//! pool); [`sampling`] provides the simulation/testing baseline of the §7.2
+//! comparison.
 //!
 //! # Examples
 //!
@@ -26,19 +29,25 @@
 //! assert!(report.outcome.is_verified());
 //! ```
 
+pub mod engine;
 pub mod parallel;
 pub mod sampling;
 pub mod scenario;
 pub mod tasks;
 
-pub use parallel::{check_parallel, ParallelConfig, ParallelReport};
+pub use engine::{
+    BatchReport, CorrectionSweep, DetectionSession, Engine, EngineConfig, Job, JobKind, JobOutcome,
+    JobReport,
+};
+pub use parallel::{check_parallel, ParallelConfig, ParallelReport, SplitConfig, SubtaskIter};
 pub use scenario::{
     cnot_propagation_scenario, correction_fault_scenario, ghz_scenario, logical_h_scenario,
     memory_scenario, multi_cycle_scenario, nonpauli_scenario, ErrorModel, Scenario,
     ScenarioBuilder,
 };
 pub use tasks::{
-    build_problem, discreteness_constraint, find_distance, locality_constraint, verify_code_memory,
-    verify_constrained, verify_correction, verify_detection, verify_nonpauli_memory,
-    DetectionOutcome, VerificationReport,
+    build_problem, build_problem_unbounded, discreteness_constraint, find_distance,
+    locality_constraint, verify_code_memory, verify_constrained, verify_correction,
+    verify_detection, verify_nonpauli_memory, DetectionOutcome, DistanceOutcome,
+    VerificationReport,
 };

@@ -3,18 +3,37 @@
 //! The general task is split into subtasks by enumerating the values of
 //! selected error indicators; enumeration stops when the paper's heuristic
 //! `ET = 2d·N(ones) + N(bits) > threshold` fires, and the residual subtask
-//! goes to a SAT solver. Subtasks run on a thread pool with cancellation on
-//! the first counterexample — the architecture of the paper's 250-core
-//! driver, scaled to a thread count.
+//! goes to a SAT solver. Subtasks are *streamed* from [`SubtaskIter`] — the
+//! exponential enumeration is never materialized — and executed by the
+//! engine's worker pool ([`crate::engine::Engine`]), cancelling on the first
+//! counterexample: the architecture of the paper's 250-core driver, scaled
+//! to a thread count.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use veriqec_cexpr::VarId;
-use veriqec_sat::{Lit, SolverConfig, SolverStats};
-use veriqec_smt::{CheckResult, SmtContext};
+use veriqec_sat::{SolverConfig, SolverStats};
 use veriqec_vcgen::{VcOutcome, VcProblem};
+
+use crate::engine::{Engine, EngineConfig, Job};
+
+/// Parameters of the `ET` enumeration split (§6, Appendix D.4).
+#[derive(Clone, Copy, Debug)]
+pub struct SplitConfig {
+    /// The `d` in the `ET = 2d·N(ones) + N(bits)` heuristic.
+    pub heuristic_distance: usize,
+    /// Enumeration stops when `ET` exceeds this threshold.
+    pub et_threshold: usize,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            heuristic_distance: 3,
+            et_threshold: 12,
+        }
+    }
+}
 
 /// Configuration of the parallel driver.
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +46,16 @@ pub struct ParallelConfig {
     pub et_threshold: usize,
     /// Solver configuration for each subtask.
     pub solver: SolverConfig,
+}
+
+impl ParallelConfig {
+    /// The enumeration-split part of this configuration.
+    pub fn split(&self) -> SplitConfig {
+        SplitConfig {
+            heuristic_distance: self.heuristic_distance,
+            et_threshold: self.et_threshold,
+        }
+    }
 }
 
 impl Default for ParallelConfig {
@@ -47,7 +76,8 @@ impl Default for ParallelConfig {
 pub struct ParallelReport {
     /// Overall outcome.
     pub outcome: VcOutcome,
-    /// Number of subtasks generated.
+    /// Number of subtasks issued to workers (on a verified run: the full
+    /// enumeration; on early cancellation: the prefix actually dispatched).
     pub subtasks: usize,
     /// Wall-clock time.
     pub wall_time: Duration,
@@ -56,116 +86,93 @@ pub struct ParallelReport {
     pub stats: SolverStats,
 }
 
-/// Enumerates assumption sets over `enum_vars` using the `ET` heuristic.
+/// A lazy stream of enumeration subtasks over `enum_vars` using the `ET`
+/// heuristic (depth-first, so the live frontier is at most one partial
+/// assignment per enumeration depth — large `et_threshold` values never
+/// materialize the exponential subtask set).
 ///
-/// Each subtask is a partial assignment (as assumption literals); the union
-/// of subtasks covers the full space, mirroring Appendix D.4.
-pub fn split_subtasks(enum_vars: &[VarId], config: &ParallelConfig) -> Vec<Vec<(VarId, bool)>> {
-    let mut out = Vec::new();
-    let mut stack: Vec<Vec<(VarId, bool)>> = vec![vec![]];
-    while let Some(partial) = stack.pop() {
-        let ones = partial.iter().filter(|(_, v)| *v).count();
-        let bits = partial.len();
-        let et = 2 * config.heuristic_distance * ones + bits;
-        if et > config.et_threshold || bits == enum_vars.len() {
-            out.push(partial);
-            continue;
+/// Each yielded subtask is a partial assignment (as variable/value pairs);
+/// the union of subtasks covers the full space, mirroring Appendix D.4.
+#[derive(Clone, Debug)]
+pub struct SubtaskIter {
+    enum_vars: Vec<VarId>,
+    split: SplitConfig,
+    stack: Vec<Vec<(VarId, bool)>>,
+}
+
+impl SubtaskIter {
+    /// Starts the enumeration over `enum_vars`.
+    pub fn new(enum_vars: Vec<VarId>, split: SplitConfig) -> Self {
+        SubtaskIter {
+            enum_vars,
+            split,
+            stack: vec![vec![]],
         }
-        let next = enum_vars[bits];
-        let mut zero = partial.clone();
-        zero.push((next, false));
-        let mut one = partial;
-        one.push((next, true));
-        stack.push(zero);
-        stack.push(one);
     }
-    out
+}
+
+impl Iterator for SubtaskIter {
+    type Item = Vec<(VarId, bool)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(partial) = self.stack.pop() {
+            let ones = partial.iter().filter(|(_, v)| *v).count();
+            let bits = partial.len();
+            let et = 2 * self.split.heuristic_distance * ones + bits;
+            if et > self.split.et_threshold || bits == self.enum_vars.len() {
+                return Some(partial);
+            }
+            let next = self.enum_vars[bits];
+            let mut zero = partial.clone();
+            zero.push((next, false));
+            let mut one = partial;
+            one.push((next, true));
+            self.stack.push(zero);
+            self.stack.push(one);
+        }
+        None
+    }
+}
+
+/// Enumerates assumption sets over `enum_vars` using the `ET` heuristic,
+/// lazily: the returned iterator yields one subtask at a time instead of
+/// materializing the full (worst-case exponential) enumeration.
+pub fn split_subtasks(enum_vars: &[VarId], config: &ParallelConfig) -> SubtaskIter {
+    SubtaskIter::new(enum_vars.to_vec(), config.split())
 }
 
 /// Solves a [`VcProblem`] by parallel enumeration over `enum_vars` (typically
-/// the error indicators). Cancels outstanding work on the first
-/// counterexample: the shared flag is both the work-loop guard and a
-/// cooperative stop flag installed on every worker's solver, so a worker
-/// stuck *inside* a long subtask aborts at its next conflict/decision
-/// boundary instead of only between subtasks.
+/// the error indicators). One-job form of the engine's batch driver
+/// ([`crate::engine::Engine::run`]): subtasks stream lazily to the worker
+/// pool, every worker encodes the base formula once into a persistent
+/// session, and the first counterexample cancels outstanding work — both
+/// between subtasks and *inside* one, via the cooperative solver stop flag.
 pub fn check_parallel(
     problem: &VcProblem,
     enum_vars: &[VarId],
     config: &ParallelConfig,
 ) -> ParallelReport {
-    let start = Instant::now();
-    let subtasks = split_subtasks(enum_vars, config);
-    let n_subtasks = subtasks.len();
-    let cancelled = Arc::new(AtomicBool::new(false));
-    let result: Mutex<Option<VcOutcome>> = Mutex::new(None);
-    let stats: Mutex<SolverStats> = Mutex::new(SolverStats::default());
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-
-    // Encode the base problem once per worker (contexts are not Sync);
-    // subtasks become assumption vectors on the worker's context.
-    std::thread::scope(|scope| {
-        for _ in 0..config.workers.max(1) {
-            scope.spawn(|| {
-                let mut ctx = SmtContext::with_config(config.solver);
-                ctx.set_stop_flag(Arc::clone(&cancelled));
-                problem.assert_base(&mut ctx);
-                if let Some(goal) = problem.goal_lit(&mut ctx) {
-                    ctx.add_clause([goal]);
-                    loop {
-                        if cancelled.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= subtasks.len() {
-                            break;
-                        }
-                        let assumptions: Vec<Lit> = subtasks[idx]
-                            .iter()
-                            .map(|&(v, val)| {
-                                let l = ctx.lit_of(v);
-                                if val {
-                                    l
-                                } else {
-                                    !l
-                                }
-                            })
-                            .collect();
-                        match ctx.check(&assumptions) {
-                            CheckResult::Unsat => {}
-                            CheckResult::Sat => {
-                                let model = ctx.model();
-                                *result.lock().expect("poisoned") =
-                                    Some(VcOutcome::CounterExample(model));
-                                cancelled.store(true, Ordering::Relaxed);
-                                break;
-                            }
-                            CheckResult::Unknown => {
-                                // Either a genuine budget exhaustion or a
-                                // cooperative abort after cancellation; in
-                                // the latter case a real outcome is already
-                                // recorded and wins.
-                                let mut r = result.lock().expect("poisoned");
-                                if r.is_none() && !cancelled.load(Ordering::Relaxed) {
-                                    *r = Some(VcOutcome::Unknown);
-                                }
-                            }
-                        }
-                    }
-                }
-                *stats.lock().expect("poisoned") += ctx.solver_stats();
-            });
-        }
+    let engine = Engine::new(EngineConfig {
+        workers: config.workers,
+        solver: config.solver,
     });
-
-    let outcome = result
-        .into_inner()
-        .expect("poisoned")
-        .unwrap_or(VcOutcome::Verified);
+    let batch = engine.run(vec![Job::correction(
+        "check_parallel",
+        problem.clone(),
+        enum_vars.to_vec(),
+        config.split(),
+    )]);
+    let wall_time = batch.wall_time;
+    let job = batch
+        .jobs
+        .into_iter()
+        .next()
+        .expect("one job in, one report out");
     ParallelReport {
-        outcome,
-        subtasks: n_subtasks,
-        wall_time: start.elapsed(),
-        stats: stats.into_inner().expect("poisoned"),
+        outcome: job.outcome.into_vc(),
+        subtasks: job.subtasks,
+        wall_time,
+        stats: job.stats,
     }
 }
 
@@ -184,11 +191,29 @@ mod tests {
             et_threshold: 5,
             ..ParallelConfig::default()
         };
-        let tasks = split_subtasks(&vars, &cfg);
+        let tasks: Vec<_> = split_subtasks(&vars, &cfg).collect();
         // Coverage: total weight of the partial-assignment cylinders is 1.
         let total: f64 = tasks.iter().map(|t| 1.0 / (1u64 << t.len()) as f64).sum();
         assert!((total - 1.0).abs() < 1e-12, "cylinders must partition");
         assert!(tasks.len() > 1);
+    }
+
+    #[test]
+    fn subtask_stream_is_lazy() {
+        // 64 variables with a threshold that never fires would enumerate
+        // 2^64 subtasks if materialized; the iterator hands out a prefix
+        // without ever building that set.
+        let vars: Vec<VarId> = (0..64).map(VarId).collect();
+        let cfg = ParallelConfig {
+            heuristic_distance: 1,
+            et_threshold: usize::MAX,
+            ..ParallelConfig::default()
+        };
+        let prefix: Vec<_> = split_subtasks(&vars, &cfg).take(5).collect();
+        assert_eq!(prefix.len(), 5);
+        for t in &prefix {
+            assert_eq!(t.len(), 64, "threshold never fires: full assignments");
+        }
     }
 
     #[test]

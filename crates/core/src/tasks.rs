@@ -4,15 +4,15 @@
 
 use std::time::{Duration, Instant};
 
-use veriqec_cexpr::{Affine, BExp, CMem, VarId, VarRole, VarTable};
+use veriqec_cexpr::{BExp, VarId};
 use veriqec_codes::StabilizerCode;
 use veriqec_decoder::MinWeightSpec;
 use veriqec_pauli::Gate1;
 use veriqec_sat::SolverConfig;
-use veriqec_smt::{CheckResult, SmtContext};
 use veriqec_vcgen::{reduce_commuting, verify_nonpauli, NonPauliOutcome, VcOutcome, VcProblem};
 use veriqec_wp::qec_wp;
 
+use crate::engine::DetectionSession;
 use crate::scenario::{memory_scenario, nonpauli_scenario, ErrorModel, Scenario};
 
 /// A verification report: the outcome plus timing and problem-size data.
@@ -45,16 +45,30 @@ pub fn build_problem(
     max_errors: i64,
     extra_constraints: Vec<BExp>,
 ) -> VcProblem {
+    let mut problem = build_problem_unbounded(scenario, extra_constraints);
+    problem.error_constraints.insert(
+        0,
+        BExp::weight_le(scenario.error_vars.iter().copied(), max_errors),
+    );
+    problem
+}
+
+/// Builds the [`VcProblem`] for a scenario *without* the global error-weight
+/// bound: the engine's weight sweeps ([`crate::engine::CorrectionSweep`])
+/// supply `Σe ≤ t` as an assumption on a cardinality handle instead of a
+/// baked-in clause, so one encoding serves every budget.
+///
+/// # Panics
+///
+/// Panics when the weakest-precondition engine or the commuting reduction
+/// rejects the scenario (see [`build_problem`]).
+pub fn build_problem_unbounded(scenario: &Scenario, extra_constraints: Vec<BExp>) -> VcProblem {
     let wp = qec_wp(&scenario.program, scenario.post.clone())
         .expect("scenario programs live in the QEC fragment");
     let mut vc = reduce_commuting(&scenario.lhs, &wp.pre)
         .expect("Pauli-error scenarios reduce to the commuting case");
     vc.resolve_branches();
-    let mut error_constraints = vec![BExp::weight_le(
-        scenario.error_vars.iter().copied(),
-        max_errors,
-    )];
-    error_constraints.extend(extra_constraints);
+    let error_constraints = extra_constraints;
     let decoder_specs = scenario
         .decoders
         .iter()
@@ -170,91 +184,61 @@ pub enum DetectionOutcome {
         /// Qubits with a Z component.
         z_support: Vec<usize>,
     },
+    /// The solver budget was exhausted (or the query was cancelled) before a
+    /// verdict: *not* evidence that all errors are detected.
+    Inconclusive,
+}
+
+/// Outcome of a distance sweep ([`find_distance`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistanceOutcome {
+    /// The exact distance: weight `d` admits an undetected logical error and
+    /// every smaller weight is detected.
+    Exact(usize),
+    /// Every weight the sweep covered is detected; the distance is at least
+    /// the reported value (the sweep's `max + 1`).
+    AtLeast(usize),
+    /// The solver budget ran out mid-sweep: all weights `< verified_below`
+    /// are proven detected (the last threshold that answered UNSAT was
+    /// `dt = verified_below`), nothing is known above — explicitly *not* a
+    /// distance claim.
+    Inconclusive {
+        /// Exclusive upper bound on the weights proven detected; `1` when
+        /// the very first query was already inconclusive (vacuous).
+        verified_below: usize,
+    },
+}
+
+impl DistanceOutcome {
+    /// The exact distance, when the sweep found one.
+    pub fn exact(self) -> Option<usize> {
+        match self {
+            DistanceOutcome::Exact(d) => Some(d),
+            _ => None,
+        }
+    }
 }
 
 /// Precise detection (Eqn. 15): does an undetected logical error of weight
-/// `< dt` exist? `AllDetected` confirms distance `≥ dt`.
+/// `< dt` exist? `AllDetected` confirms distance `≥ dt`; budget exhaustion
+/// reports [`DetectionOutcome::Inconclusive`]. One-shot form of
+/// [`DetectionSession`] — sweeps over `dt` should hold a session instead of
+/// re-encoding per threshold.
 pub fn verify_detection(
     code: &StabilizerCode,
     dt: usize,
     config: SolverConfig,
 ) -> DetectionOutcome {
-    let n = code.n();
-    let mut vt = VarTable::new();
-    let ex: Vec<VarId> = (0..n)
-        .map(|q| vt.fresh_indexed("ex", q, VarRole::Error))
-        .collect();
-    let ez: Vec<VarId> = (0..n)
-        .map(|q| vt.fresh_indexed("ez", q, VarRole::Error))
-        .collect();
-    let mut ctx = SmtContext::with_config(config);
-    // Weight: number of qubits with any component, in [1, dt−1].
-    let support: Vec<_> = (0..n)
-        .map(|q| {
-            let lx = ctx.lit_of(ex[q]);
-            let lz = ctx.lit_of(ez[q]);
-            ctx.reify_disj(&[lx, lz])
-        })
-        .collect();
-    ctx.assert_at_least(&support, 1);
-    ctx.assert_at_most(&support, dt as i64 - 1);
-    // All syndromes zero: error commutes with every generator.
-    for g in code.generators() {
-        let mut aff = Affine::zero();
-        for q in 0..n {
-            if g.pauli().x_bit(q) {
-                aff.xor_var(ez[q]);
-            }
-            if g.pauli().z_bit(q) {
-                aff.xor_var(ex[q]);
-            }
-        }
-        ctx.assert_affine_eq(&aff, false);
-    }
-    // Some logical operator anticommutes with the error.
-    let mut flips = Vec::new();
-    for l in code.logical_x().iter().chain(code.logical_z()) {
-        let mut aff = Affine::zero();
-        for q in 0..n {
-            if l.pauli().x_bit(q) {
-                aff.xor_var(ez[q]);
-            }
-            if l.pauli().z_bit(q) {
-                aff.xor_var(ex[q]);
-            }
-        }
-        flips.push(ctx.reify_affine(&aff));
-    }
-    ctx.add_clause(flips);
-    match ctx.check(&[]) {
-        CheckResult::Unsat => DetectionOutcome::AllDetected,
-        CheckResult::Sat => {
-            let m = ctx.model();
-            let sup = |vars: &[VarId], m: &CMem| {
-                vars.iter()
-                    .enumerate()
-                    .filter_map(|(q, &v)| m.get(v).as_bool().then_some(q))
-                    .collect::<Vec<_>>()
-            };
-            DetectionOutcome::UndetectedLogical {
-                x_support: sup(&ex, &m),
-                z_support: sup(&ez, &m),
-            }
-        }
-        CheckResult::Unknown => DetectionOutcome::AllDetected, // budget; treat as inconclusive
-    }
+    DetectionSession::new(code, config).check(dt)
 }
 
 /// Finds the exact code distance by growing `dt` until an undetected logical
 /// error appears (the paper's "identify and output the minimum weight
-/// undetectable error" workflow).
-pub fn find_distance(code: &StabilizerCode, max: usize) -> Option<usize> {
-    for dt in 2..=max + 1 {
-        if verify_detection(code, dt, SolverConfig::default()) != DetectionOutcome::AllDetected {
-            return Some(dt - 1);
-        }
-    }
-    None
+/// undetectable error" workflow), incrementally: the detection formula is
+/// encoded once and every threshold is an assumption query on the same
+/// session ([`DetectionSession::find_distance`]).
+pub fn find_distance(code: &StabilizerCode, max: usize) -> DistanceOutcome {
+    DetectionSession::new(code, SolverConfig::default()).find_distance(max)
 }
 
 /// Verifies a fixed non-Pauli (`T`/`H`) error on `qubit` in a one-round
@@ -334,7 +318,7 @@ mod tests {
             ),
             3
         );
-        assert_eq!(find_distance(&code, 4), Some(3));
+        assert_eq!(find_distance(&code, 4), DistanceOutcome::Exact(3));
     }
 
     #[test]
@@ -346,6 +330,47 @@ mod tests {
 
     #[test]
     fn surface3_distance_via_detection() {
-        assert_eq!(find_distance(&rotated_surface(3), 4), Some(3));
+        assert_eq!(
+            find_distance(&rotated_surface(3), 4),
+            DistanceOutcome::Exact(3)
+        );
+    }
+
+    #[test]
+    fn distance_sweep_distinguishes_at_least_from_exact() {
+        // Sweeping the Steane code only up to weight 2 proves d ≥ 3 without
+        // claiming an exact distance.
+        assert_eq!(find_distance(&steane(), 2), DistanceOutcome::AtLeast(3));
+        assert_eq!(DistanceOutcome::AtLeast(3).exact(), None);
+    }
+
+    #[test]
+    fn exhausted_budget_is_inconclusive_not_all_detected() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        // The old code mapped solver-budget exhaustion to AllDetected,
+        // silently inflating distances. A pre-raised stop flag forces the
+        // Unknown path deterministically.
+        let code = rotated_surface(3);
+        let mut session = crate::engine::DetectionSession::new(&code, SolverConfig::default());
+        session.set_stop_flag(Arc::new(AtomicBool::new(true)));
+        assert_eq!(session.check(4), DetectionOutcome::Inconclusive);
+        // And the sweep propagates it instead of claiming a distance. With
+        // the very first query (dt = 2) inconclusive, nothing at all is
+        // proven: verified_below must be the vacuous 1, not 2.
+        assert_eq!(
+            session.find_distance(4),
+            DistanceOutcome::Inconclusive { verified_below: 1 }
+        );
+        // A tiny conflict budget likewise must never report AllDetected on
+        // this satisfiable query.
+        let starved = SolverConfig {
+            conflict_budget: Some(1),
+            ..SolverConfig::default()
+        };
+        assert_ne!(
+            verify_detection(&code, 4, starved),
+            DetectionOutcome::AllDetected
+        );
     }
 }

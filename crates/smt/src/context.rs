@@ -210,6 +210,17 @@ impl SmtContext {
 
     // ----------------------------------------------------------- cardinality
 
+    /// Builds a reusable cardinality constraint over `lits`: the totalizer
+    /// is encoded once and the returned handle turns weight bounds into
+    /// *assumption literals*, so one incremental context can be queried
+    /// under many different bounds without re-encoding (the engine layer's
+    /// weight sweeps are built on this).
+    pub fn cardinality(&mut self, lits: &[Lit]) -> CardinalityHandle {
+        let outputs = self.totalizer(lits);
+        let lit_false = !self.lit_true();
+        CardinalityHandle { outputs, lit_false }
+    }
+
     /// Builds a totalizer over `lits`: output `o[i]` is true iff at least
     /// `i+1` of the inputs are true. Fully reified (both directions).
     pub fn totalizer(&mut self, lits: &[Lit]) -> Vec<Lit> {
@@ -268,38 +279,48 @@ impl SmtContext {
 
     /// Asserts `Σ lits <= k`.
     pub fn assert_at_most(&mut self, lits: &[Lit], k: i64) {
+        if k >= lits.len() as i64 {
+            return; // trivially true: no totalizer needed
+        }
         if k < 0 {
+            // Infeasible: one false unit clause, no totalizer.
             let f = !self.lit_true();
             self.solver.add_clause([f]);
             return;
         }
-        let k = k as usize;
-        if k >= lits.len() {
-            return;
+        let h = self.cardinality(lits);
+        if let Some(l) = h.at_most(k) {
+            self.solver.add_clause([l]);
         }
-        let t = self.totalizer(lits);
-        self.solver.add_clause([!t[k]]);
     }
 
     /// Asserts `Σ lits >= k`.
     pub fn assert_at_least(&mut self, lits: &[Lit], k: i64) {
         if k <= 0 {
-            return;
+            return; // trivially true: no totalizer needed
         }
-        let k = k as usize;
-        if k > lits.len() {
+        if k > lits.len() as i64 {
             let f = !self.lit_true();
             self.solver.add_clause([f]);
             return;
         }
-        let t = self.totalizer(lits);
-        self.solver.add_clause([t[k - 1]]);
+        let h = self.cardinality(lits);
+        if let Some(l) = h.at_least(k) {
+            self.solver.add_clause([l]);
+        }
     }
 
-    /// Asserts `Σ lits == k`.
+    /// Asserts `Σ lits == k` (one shared totalizer for both directions).
     pub fn assert_exactly(&mut self, lits: &[Lit], k: i64) {
-        self.assert_at_most(lits, k);
-        self.assert_at_least(lits, k);
+        if k < 0 || k > lits.len() as i64 {
+            let f = !self.lit_true();
+            self.solver.add_clause([f]);
+            return;
+        }
+        let h = self.cardinality(lits);
+        for l in [h.at_most(k), h.at_least(k)].into_iter().flatten() {
+            self.solver.add_clause([l]);
+        }
     }
 
     /// Asserts `Σ a + offset <= Σ b` (the minimum-weight decoder condition
@@ -493,6 +514,68 @@ impl SmtContext {
     }
 }
 
+/// A reusable cardinality constraint built by [`SmtContext::cardinality`].
+///
+/// Holds the output literals of a totalizer encoded once over a fixed set of
+/// inputs; weight bounds become *assumption literals* instead of baked-in
+/// clauses, so the same incremental context answers `Σ ≤ k` for every `k`
+/// without re-encoding. `None` means the bound is trivially true and needs
+/// no assumption at all.
+#[derive(Clone, Debug)]
+pub struct CardinalityHandle {
+    /// `outputs[i]` is true iff at least `i+1` inputs are true.
+    outputs: Vec<Lit>,
+    /// The context's constant-false literal, used for infeasible bounds.
+    lit_false: Lit,
+}
+
+impl CardinalityHandle {
+    /// Number of input literals the totalizer counts.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// True when the totalizer counts no inputs.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// The raw totalizer output literals (`outputs[i]` ⇔ `Σ ≥ i+1`).
+    pub fn outputs(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// Assumption literal for `Σ inputs ≤ k`; `None` when trivially true.
+    pub fn at_most(&self, k: i64) -> Option<Lit> {
+        if k < 0 {
+            Some(self.lit_false)
+        } else if k as usize >= self.outputs.len() {
+            None
+        } else {
+            Some(!self.outputs[k as usize])
+        }
+    }
+
+    /// Assumption literal for `Σ inputs ≥ k`; `None` when trivially true.
+    pub fn at_least(&self, k: i64) -> Option<Lit> {
+        if k <= 0 {
+            None
+        } else if k as usize > self.outputs.len() {
+            Some(self.lit_false)
+        } else {
+            Some(self.outputs[k as usize - 1])
+        }
+    }
+
+    /// Assumption literals for `Σ inputs == k` (zero, one or two literals).
+    pub fn exactly(&self, k: i64) -> Vec<Lit> {
+        [self.at_most(k), self.at_least(k)]
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,6 +602,32 @@ mod tests {
             let count: i64 = vs.iter().map(|&v| m.get(v).as_int()).sum();
             assert_eq!(count, k);
         }
+    }
+
+    #[test]
+    fn cardinality_handle_bounds_as_assumptions() {
+        // One totalizer, many bounds: the same context answers every k.
+        let (_, vs) = vars(5);
+        let mut ctx = SmtContext::new();
+        let lits: Vec<Lit> = vs.iter().map(|&v| ctx.lit_of(v)).collect();
+        let h = ctx.cardinality(&lits);
+        assert_eq!(h.len(), 5);
+        // Force exactly 3 inputs true.
+        for (i, &l) in lits.iter().enumerate() {
+            ctx.add_clause([if i < 3 { l } else { !l }]);
+        }
+        for k in 0..=6i64 {
+            let assumps: Vec<Lit> = h.at_most(k).into_iter().collect();
+            let expect_sat = k >= 3;
+            assert_eq!(ctx.check(&assumps).is_sat(), expect_sat, "at_most {k}");
+            let assumps: Vec<Lit> = h.at_least(k).into_iter().collect();
+            let expect_sat = k <= 3;
+            assert_eq!(ctx.check(&assumps).is_sat(), expect_sat, "at_least {k}");
+            assert_eq!(ctx.check(&h.exactly(k)).is_sat(), k == 3, "exactly {k}");
+        }
+        // Infeasible bounds produce the constant-false assumption.
+        assert!(ctx.check(&h.exactly(-1)).is_unsat());
+        assert!(ctx.check(&h.exactly(6)).is_unsat());
     }
 
     #[test]

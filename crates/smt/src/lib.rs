@@ -31,4 +31,4 @@
 
 mod context;
 
-pub use context::{CheckResult, EncodeError, SmtContext};
+pub use context::{CardinalityHandle, CheckResult, EncodeError, SmtContext};

@@ -15,7 +15,7 @@
 use veriqec_cexpr::{BExp, CMem};
 use veriqec_decoder::MinWeightSpec;
 use veriqec_sat::SolverConfig;
-use veriqec_smt::{CheckResult, SmtContext};
+use veriqec_smt::SmtContext;
 
 use crate::ReducedVc;
 
@@ -62,39 +62,12 @@ pub struct VcProblem {
 
 impl VcProblem {
     /// Encodes and discharges the problem. `config` tunes the underlying
-    /// CDCL solver (used by the ablation benchmarks).
+    /// CDCL solver (used by the ablation benchmarks). One-shot form of
+    /// [`VcProblem::session`]: encode, query once, report.
     pub fn check_with_config(&self, config: SolverConfig) -> (VcOutcome, VcStats) {
-        let mut ctx = SmtContext::with_config(config);
-        self.assert_base(&mut ctx);
-        // Refutation goal: some target is violated.
-        let viol: Vec<_> = self
-            .vc
-            .targets
-            .iter()
-            .map(|t| ctx.reify_affine(t))
-            .collect();
-        if viol.is_empty() {
-            return (
-                VcOutcome::Verified,
-                VcStats {
-                    sat_vars: ctx.num_sat_vars(),
-                    clauses: ctx.num_clauses(),
-                    conflicts: 0,
-                },
-            );
-        }
-        ctx.add_clause(viol);
-        let outcome = match ctx.check(&[]) {
-            CheckResult::Unsat => VcOutcome::Verified,
-            CheckResult::Sat => VcOutcome::CounterExample(ctx.model()),
-            CheckResult::Unknown => VcOutcome::Unknown,
-        };
-        let stats = VcStats {
-            sat_vars: ctx.num_sat_vars(),
-            clauses: ctx.num_clauses(),
-            conflicts: ctx.solver_stats().conflicts,
-        };
-        (outcome, stats)
+        let mut session = self.session(config);
+        let outcome = session.query(&[]);
+        (outcome, session.stats())
     }
 
     /// Discharges with the default solver configuration.

@@ -22,7 +22,9 @@ fn main() {
     }
 
     // The tool can discover the distance itself (precise detection, Eqn. 15).
-    let d = find_distance(&code, 5).expect("Steane has a logical error of weight 3");
+    let d = find_distance(&code, 5)
+        .exact()
+        .expect("Steane has a logical error of weight 3");
     println!("verified distance: {d}");
 
     // General verification: every single Y error is corrected (Eqn. 2).

@@ -21,9 +21,10 @@ pub use veriqec_wp;
 
 /// One-stop imports for interactive use.
 pub mod prelude {
+    pub use veriqec::engine::{CorrectionSweep, DetectionSession, Engine, EngineConfig, Job};
     pub use veriqec::scenario::{memory_scenario, ErrorModel, Scenario, ScenarioBuilder};
     pub use veriqec::tasks::{
-        find_distance, verify_correction, verify_detection, DetectionOutcome,
+        find_distance, verify_correction, verify_detection, DetectionOutcome, DistanceOutcome,
     };
     pub use veriqec_codes::{rotated_surface, steane, StabilizerCode};
     pub use veriqec_logic::{entails, Assertion, QecAssertion};

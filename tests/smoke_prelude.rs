@@ -24,7 +24,7 @@ fn steane_corrects_any_single_y_error_via_prelude() {
 fn prelude_covers_the_full_pipeline_surface() {
     // Distance discovery (precise detection, Eqn. 15 of the paper).
     let code = steane();
-    assert_eq!(find_distance(&code, 5), Some(3));
+    assert_eq!(find_distance(&code, 5), DistanceOutcome::Exact(3));
 
     // Detection task: a distance-3 code detects all errors of weight < 3.
     match verify_detection(&code, 3, SolverConfig::default()) {
