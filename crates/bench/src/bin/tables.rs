@@ -1,11 +1,14 @@
 //! Regenerates the paper's evaluation tables/figure data as markdown (plus
 //! machine-readable JSON batch reports from the engine).
 //!
-//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|quick|all] [max_d]`
+//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|enumerators|quick|all] [max_d]`
 //!
 //! `quick` is the CI smoke mode: a small heterogeneous batch (correction +
 //! detection + distance jobs on small codes) through the engine's shared
-//! worker pool, with outcome assertions.
+//! worker pool, with outcome assertions. `enumerators` runs the
+//! decision-diagram counting backend over the code zoo (add `--quick` for
+//! the CI subset) and writes the machine-readable `BENCH_enumerators.json`
+//! artifact next to the working directory.
 
 use std::time::Instant;
 
@@ -20,8 +23,9 @@ use veriqec::tasks::{
 };
 use veriqec_bench::{locality_set, surface_problem, surface_workload};
 use veriqec_codes::{
-    carbon_12_2_4, cube_color_822, five_qubit, gottesman8, hgp_hamming, pair_detection_code,
-    reed_muller, rotated_surface, shor9, six_qubit, steane, toric, xzzx_surface,
+    c4_422, carbon_12_2_4, cube_color_822, five_qubit, gottesman8, hgp_hamming,
+    pair_detection_code, reed_muller, rotated_surface, shor9, six_qubit, steane, toric,
+    xzzx_surface,
 };
 use veriqec_decoder::{decode_call_oracle, CssLookupDecoder};
 use veriqec_sat::SolverConfig;
@@ -35,6 +39,10 @@ fn main() {
         .unwrap_or(7);
     if what == "quick" {
         quick();
+        return;
+    }
+    if what == "enumerators" {
+        enumerators(std::env::args().any(|a| a == "--quick"));
         return;
     }
     if what == "all" || what == "fig4" {
@@ -55,6 +63,84 @@ fn main() {
     if what == "all" || what == "stim" {
         stim(max_d);
     }
+    if what == "all" {
+        enumerators(false);
+    }
+}
+
+/// Failure weight enumerators for the code zoo through the engine's
+/// counting jobs (`veriqec::engine::JobKind::Count`): exact
+/// coefficients per weight, cross-checked against the claimed distance and
+/// the group-theoretic failure total `2^{n+k} − 2^{n−k}`. Emits the
+/// machine-readable `BENCH_enumerators.json` batch report.
+fn enumerators(quick: bool) {
+    println!("\n### Failure weight enumerators (decision-diagram backend)\n");
+    let mut codes = vec![
+        c4_422(),
+        five_qubit(),
+        six_qubit(),
+        steane(),
+        shor9(),
+        rotated_surface(3),
+    ];
+    if !quick {
+        codes.extend([
+            gottesman8(),
+            cube_color_822(),
+            xzzx_surface(3),
+            toric(3),
+            carbon_12_2_4(),
+            rotated_surface(5),
+            xzzx_surface(5),
+        ]);
+    }
+    let jobs: Vec<Job> = codes
+        .iter()
+        .map(|code| Job::count(code.name().to_string(), code.clone()))
+        .collect();
+    let engine = Engine::new(EngineConfig::default());
+    let batch = engine.run(jobs);
+    println!("| code | [[n,k,d]] | min weight | A_d | total failures | busy | dd nodes |");
+    println!("|------|-----------|------------|-----|----------------|------|----------|");
+    for (code, job) in codes.iter().zip(&batch.jobs) {
+        let JobOutcome::Enumerator(e) = &job.outcome else {
+            panic!("{}: counting job failed: {:?}", job.name, job.outcome);
+        };
+        let d = e.min_weight.expect("every code has failures");
+        assert_eq!(
+            Some(d),
+            code.claimed_distance(),
+            "{}: enumerator distance disagrees with the claimed distance",
+            code.name()
+        );
+        let (n, k) = (code.n() as u32, code.k() as u32);
+        assert_eq!(
+            e.total(),
+            (1u128 << (n + k)) - (1u128 << (n - k)),
+            "{}: total failures disagree with group counting",
+            code.name()
+        );
+        println!(
+            "| {} | [[{},{},{}]] | {} | {} | {} | {:?} | {} |",
+            code.name(),
+            code.n(),
+            code.k(),
+            d,
+            d,
+            e.coefficients[d],
+            e.total(),
+            job.busy_time,
+            job.dd.nodes,
+        );
+    }
+    let artifact = "BENCH_enumerators.json";
+    std::fs::write(artifact, batch.to_json()).expect("artifact writable");
+    println!(
+        "\n{} codes on {} workers in {:?}; batch report written to {artifact}",
+        batch.jobs.len(),
+        batch.workers,
+        batch.wall_time
+    );
 }
 
 fn fig4(max_d: usize) {

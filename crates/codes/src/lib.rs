@@ -31,6 +31,6 @@ pub use css::{css_code, self_dual_css};
 pub use hgp::{hamming_7_4, hgp_hamming, hypergraph_product, repetition_circulant, toric};
 pub use surface::{rotated_surface, xzzx_surface};
 pub use zoo::{
-    campbell_howard_k1, carbon_12_2_4, cube_color_822, five_qubit, gottesman8, pair_detection_code,
-    reed_muller, repetition, shor9, six_qubit, steane,
+    c4_422, campbell_howard_k1, carbon_12_2_4, cube_color_822, five_qubit, gottesman8,
+    pair_detection_code, reed_muller, repetition, shor9, six_qubit, steane,
 };

@@ -88,6 +88,23 @@ pub fn six_qubit() -> StabilizerCode {
     StabilizerCode::new("six-qubit [[6,1,3]]", group, vec![lx], vec![lz], Some(3))
 }
 
+/// The `[[4,2,2]]` error-detection code (the smallest member of the
+/// iceberg family): stabilizers `X^⊗4`, `Z^⊗4`, logicals
+/// `X̄₁ = XXII`, `Z̄₁ = ZIZI`, `X̄₂ = XIXI`, `Z̄₂ = ZZII`. Distance 2 —
+/// every single-qubit error is detected, none is correctable — which makes
+/// it the smallest nontrivial input for the failure-enumerator backend.
+pub fn c4_422() -> StabilizerCode {
+    let group = gens_from_letters(&["XXXX", "ZZZZ"]);
+    let lx = |s: &str| SymPauli::plain(PauliString::from_letters(s).unwrap());
+    StabilizerCode::new(
+        "C4 [[4,2,2]]",
+        group,
+        vec![lx("XXII"), lx("XIXI")],
+        vec![lx("ZIZI"), lx("ZZII")],
+        Some(2),
+    )
+}
+
 /// Gottesman's `[[8,3,3]]` code (the `r = 3` member of the
 /// `[[2^r, 2^r − r − 2, 3]]` family of Table 3).
 pub fn gottesman8() -> StabilizerCode {
@@ -223,6 +240,15 @@ pub fn reed_muller(r: usize) -> StabilizerCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn c4_is_valid_distance_2() {
+        let c = c4_422();
+        c.validate().unwrap();
+        assert_eq!((c.n(), c.k()), (4, 2));
+        assert_eq!(c.brute_force_distance(2), Some(2));
+        assert!(c.css_split().is_some());
+    }
 
     #[test]
     fn steane_is_valid_distance_3() {

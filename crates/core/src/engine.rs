@@ -14,7 +14,9 @@
 //!   tasks: one [`VcSession`] per (scenario, constraints), weight bounds
 //!   swept as assumptions.
 //! * [`Engine`] — a batch driver owning one worker pool that serves a queue
-//!   of heterogeneous [`Job`]s (code-zoo × error-model × task sweeps).
+//!   of heterogeneous [`Job`]s (code-zoo × error-model × task sweeps,
+//!   including [`JobKind::Count`] failure-enumerator jobs served by the
+//!   decision-diagram backend).
 //!   Correction jobs stream their enumeration cubes lazily from
 //!   [`SubtaskIter`]; each worker keeps one persistent session per job.
 //!   Cancellation is cooperative at both levels (whole batch, single job on
@@ -26,12 +28,14 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use veriqec_cexpr::{Affine, BExp, CMem, VarId, VarRole, VarTable};
+use veriqec_cexpr::{BExp, CMem, VarId};
 use veriqec_codes::StabilizerCode;
+use veriqec_dd::{CompileConfig, CompileError, DdStats};
 use veriqec_sat::{Lit, SolverConfig, SolverStats};
 use veriqec_smt::{CardinalityHandle, CheckResult, SmtContext};
 use veriqec_vcgen::{VcOutcome, VcProblem, VcSession};
 
+use crate::enumerator::{FailureEnumerator, WeightEnumerator};
 use crate::parallel::{SplitConfig, SubtaskIter};
 use crate::scenario::Scenario;
 use crate::tasks::{build_problem_unbounded, DetectionOutcome, DistanceOutcome};
@@ -58,25 +62,15 @@ pub struct DetectionSession {
 }
 
 impl DetectionSession {
-    /// Encodes the detection formula for `code` once.
+    /// Encodes the detection formula for `code` once (the shared Eqn. 15
+    /// assembly of [`crate::enumerator`], plus this session's totalizer).
     pub fn new(code: &StabilizerCode, config: SolverConfig) -> Self {
-        let n = code.n();
-        let mut vt = VarTable::new();
-        let ex: Vec<VarId> = (0..n)
-            .map(|q| vt.fresh_indexed("ex", q, VarRole::Error))
-            .collect();
-        let ez: Vec<VarId> = (0..n)
-            .map(|q| vt.fresh_indexed("ez", q, VarRole::Error))
-            .collect();
-        let mut ctx = SmtContext::with_config(config);
-        // Support indicators: qubit q carries any error component.
-        let support_lits: Vec<Lit> = (0..n)
-            .map(|q| {
-                let lx = ctx.lit_of(ex[q]);
-                let lz = ctx.lit_of(ez[q]);
-                ctx.reify_disj(&[lx, lz])
-            })
-            .collect();
+        let crate::enumerator::DetectionParts {
+            mut ctx,
+            ex,
+            ez,
+            support: support_lits,
+        } = crate::enumerator::detection_parts(code, config);
         // One totalizer serves the whole sweep: the lower bound (≥ 1) is
         // constant and baked in, the upper bound arrives per query as an
         // assumption.
@@ -84,34 +78,6 @@ impl DetectionSession {
         if let Some(l) = support.at_least(1) {
             ctx.add_clause([l]);
         }
-        // All syndromes zero: the error commutes with every generator.
-        for g in code.generators() {
-            let mut aff = Affine::zero();
-            for q in 0..n {
-                if g.pauli().x_bit(q) {
-                    aff.xor_var(ez[q]);
-                }
-                if g.pauli().z_bit(q) {
-                    aff.xor_var(ex[q]);
-                }
-            }
-            ctx.assert_affine_eq(&aff, false);
-        }
-        // Some logical operator anticommutes with the error.
-        let mut flips = Vec::new();
-        for l in code.logical_x().iter().chain(code.logical_z()) {
-            let mut aff = Affine::zero();
-            for q in 0..n {
-                if l.pauli().x_bit(q) {
-                    aff.xor_var(ez[q]);
-                }
-                if l.pauli().z_bit(q) {
-                    aff.xor_var(ex[q]);
-                }
-            }
-            flips.push(ctx.reify_affine(&aff));
-        }
-        ctx.add_clause(flips);
         DetectionSession {
             ctx,
             ex,
@@ -305,6 +271,16 @@ pub enum JobKind {
         /// Largest weight to sweep.
         max: usize,
     },
+    /// Exact failure weight enumerator via the decision-diagram backend
+    /// ([`FailureEnumerator`]): compile once, stratify by weight, report
+    /// every coefficient.
+    Count {
+        /// The code under test.
+        code: StabilizerCode,
+        /// Diagram compile budget and ordering (the job's cancel flag is
+        /// layered on top as the stop flag).
+        config: CompileConfig,
+    },
 }
 
 impl Job {
@@ -340,6 +316,23 @@ impl Job {
             kind: JobKind::Distance { code, max },
         }
     }
+
+    /// A failure-enumerator counting job with the default diagram budget.
+    pub fn count(name: impl Into<String>, code: StabilizerCode) -> Job {
+        Job::count_with_config(name, code, CompileConfig::default())
+    }
+
+    /// A counting job with an explicit compile budget/ordering.
+    pub fn count_with_config(
+        name: impl Into<String>,
+        code: StabilizerCode,
+        config: CompileConfig,
+    ) -> Job {
+        Job {
+            name: name.into(),
+            kind: JobKind::Count { code, config },
+        }
+    }
 }
 
 /// Outcome of one [`Job`].
@@ -355,6 +348,8 @@ pub enum JobOutcome {
     Detection(DetectionOutcome),
     /// Distance-sweep result.
     Distance(DistanceOutcome),
+    /// Counting result: the full failure weight enumerator.
+    Enumerator(WeightEnumerator),
     /// The batch was cancelled before this job completed.
     Cancelled,
 }
@@ -390,6 +385,7 @@ impl JobOutcome {
             JobOutcome::Distance(DistanceOutcome::Exact(_)) => "distance_exact",
             JobOutcome::Distance(DistanceOutcome::AtLeast(_)) => "distance_at_least",
             JobOutcome::Distance(DistanceOutcome::Inconclusive { .. }) => "distance_inconclusive",
+            JobOutcome::Enumerator(_) => "enumerator",
             JobOutcome::Cancelled => "cancelled",
         }
     }
@@ -409,6 +405,8 @@ pub struct JobReport {
     pub busy_time: Duration,
     /// Solver statistics summed over every session that served this job.
     pub stats: SolverStats,
+    /// Decision-diagram statistics (counting jobs; zero elsewhere).
+    pub dd: DdStats,
 }
 
 /// Result of one [`Engine::run`] batch.
@@ -426,6 +424,11 @@ impl BatchReport {
     /// Solver statistics summed across all jobs.
     pub fn total_stats(&self) -> SolverStats {
         self.jobs.iter().map(|j| j.stats).sum()
+    }
+
+    /// Decision-diagram statistics summed across all jobs.
+    pub fn total_dd_stats(&self) -> DdStats {
+        self.jobs.iter().map(|j| j.dd).sum()
     }
 
     /// Renders the batch as a markdown table.
@@ -489,10 +492,16 @@ impl BatchReport {
                         ",\"x_support\":{x_support:?},\"z_support\":{z_support:?}"
                     ));
                 }
+                JobOutcome::Enumerator(e) => {
+                    if let Some(w) = e.min_weight {
+                        out.push_str(&format!(",\"min_weight\":{w}"));
+                    }
+                    out.push_str(&format!(",\"coefficients\":{:?}", e.coefficients));
+                }
                 _ => {}
             }
             out.push_str(&format!(
-                ",\"subtasks\":{},\"busy_ms\":{:.3},\"conflicts\":{},\"decisions\":{},\"propagations\":{},\"restarts\":{}}}",
+                ",\"subtasks\":{},\"busy_ms\":{:.3},\"conflicts\":{},\"decisions\":{},\"propagations\":{},\"restarts\":{}",
                 j.subtasks,
                 j.busy_time.as_secs_f64() * 1e3,
                 j.stats.conflicts,
@@ -500,6 +509,13 @@ impl BatchReport {
                 j.stats.propagations,
                 j.stats.restarts,
             ));
+            if j.dd != DdStats::default() {
+                out.push_str(&format!(
+                    ",\"dd_nodes\":{},\"dd_cache_hits\":{}",
+                    j.dd.nodes, j.dd.cache_hits
+                ));
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out
@@ -548,6 +564,7 @@ struct JobState {
     source: Mutex<JobSource>,
     outcome: Mutex<Option<JobOutcome>>,
     stats: Mutex<SolverStats>,
+    dd: Mutex<DdStats>,
     busy: Mutex<Duration>,
     issued: AtomicUsize,
 }
@@ -558,7 +575,7 @@ impl JobState {
             JobKind::Correction {
                 enum_vars, split, ..
             } => JobSource::Cubes(SubtaskIter::new(enum_vars.clone(), *split)),
-            JobKind::Detection { .. } | JobKind::Distance { .. } => {
+            JobKind::Detection { .. } | JobKind::Distance { .. } | JobKind::Count { .. } => {
                 JobSource::Whole { claimed: false }
             }
         };
@@ -569,6 +586,7 @@ impl JobState {
             source: Mutex::new(source),
             outcome: Mutex::new(None),
             stats: Mutex::new(SolverStats::default()),
+            dd: Mutex::new(DdStats::default()),
             busy: Mutex::new(Duration::ZERO),
             issued: AtomicUsize::new(0),
         }
@@ -731,6 +749,7 @@ impl Engine {
                     subtasks: st.issued.into_inner(),
                     busy_time: st.busy.into_inner().expect("poisoned"),
                     stats: st.stats.into_inner().expect("poisoned"),
+                    dd: st.dd.into_inner().expect("poisoned"),
                 }
             })
             .collect();
@@ -813,6 +832,29 @@ impl Engine {
                             let out = s.find_distance(*max);
                             *st.stats.lock().expect("poisoned") += s.solver_stats();
                             st.record(JobOutcome::Distance(out));
+                        }
+                        JobKind::Count { code, config } => {
+                            // Layer the job's cancel flag on top of any
+                            // caller-supplied stop flags.
+                            let mut config = config.clone();
+                            config.stop_flags.push(Arc::clone(&st.cancel));
+                            match FailureEnumerator::new(code, &config) {
+                                Ok(mut fe) => {
+                                    let out = fe.enumerator();
+                                    *st.dd.lock().expect("poisoned") += fe.dd_stats();
+                                    st.record(JobOutcome::Enumerator(out));
+                                }
+                                Err(CompileError::NodeLimit { nodes }) => {
+                                    // Surface how far the diagram got so a
+                                    // report consumer can tune the budget.
+                                    st.dd.lock().expect("poisoned").nodes += nodes as u64;
+                                    st.record(JobOutcome::Unknown);
+                                }
+                                // Cancelled: a real outcome or the cancel
+                                // flag already explains the job; record
+                                // nothing.
+                                Err(CompileError::Cancelled) => {}
+                            }
                         }
                         JobKind::Correction { .. } => {
                             unreachable!("correction jobs stream cubes")
@@ -910,13 +952,14 @@ mod tests {
             ),
             Job::detection("steane_dt3", steane(), 3),
             Job::distance("surface3_distance", rotated_surface(3), 4),
+            Job::count("steane_enumerator", steane()),
         ];
         let engine = Engine::new(EngineConfig {
             workers: 4,
             solver: SolverConfig::default(),
         });
         let report = engine.run(jobs);
-        assert_eq!(report.jobs.len(), 5);
+        assert_eq!(report.jobs.len(), 6);
         // Sequential ground truth.
         assert!(report.jobs[0].outcome.is_verified(), "steane t=1 verifies");
         assert!(
@@ -933,8 +976,17 @@ mod tests {
             report.jobs[4].outcome,
             JobOutcome::Distance(DistanceOutcome::Exact(3))
         ));
+        // The counting job reports the full Steane enumerator through the
+        // same pool: 192 failures, least weight 3 (the code distance).
+        let JobOutcome::Enumerator(e) = &report.jobs[5].outcome else {
+            panic!("count job must report an enumerator: {:?}", report.jobs[5]);
+        };
+        assert_eq!(e.min_weight, Some(3));
+        assert_eq!(e.total(), 192);
+        assert!(report.jobs[5].dd.nodes > 0, "DD stats flow into the report");
         // Per-job stats reflect real work; reports render.
         assert!(report.total_stats().propagations > 0);
+        assert!(report.total_dd_stats().nodes > 0);
         let json = report.to_json();
         for name in [
             "steane_t1",
@@ -942,11 +994,17 @@ mod tests {
             "surface3_t1",
             "steane_dt3",
             "surface3_distance",
+            "steane_enumerator",
         ] {
             assert!(json.contains(name), "JSON report must mention {name}");
         }
         assert!(json.contains("\"distance\":3"));
+        assert!(json.contains("\"min_weight\":3"));
+        assert!(json.contains("\"dd_nodes\":"));
         assert!(report.to_markdown().contains("| steane_t1 | verified |"));
+        assert!(report
+            .to_markdown()
+            .contains("| steane_enumerator | enumerator |"));
     }
 
     #[test]
@@ -965,6 +1023,7 @@ mod tests {
                 SplitConfig::default(),
             ),
             Job::distance("cancelled_distance", steane(), 4),
+            Job::count("cancelled_count", steane()),
         ]);
         for job in &report.jobs {
             assert!(
@@ -974,6 +1033,28 @@ mod tests {
                 job.outcome
             );
         }
+    }
+
+    #[test]
+    fn count_job_over_node_budget_reports_unknown() {
+        use veriqec_dd::CompileConfig;
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            solver: SolverConfig::default(),
+        });
+        let report = engine.run(vec![Job::count_with_config(
+            "starved_count",
+            steane(),
+            CompileConfig {
+                node_limit: Some(16),
+                ..CompileConfig::default()
+            },
+        )]);
+        assert!(
+            matches!(report.jobs[0].outcome, JobOutcome::Unknown),
+            "{:?}",
+            report.jobs[0].outcome
+        );
     }
 
     #[test]

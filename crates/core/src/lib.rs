@@ -11,8 +11,10 @@
 //! sessions, assumption-driven weight sweeps, and a batch driver whose
 //! worker pool serves heterogeneous jobs; [`parallel`] splits the general
 //! task with the paper's `ET` enumeration heuristic (streamed lazily to that
-//! pool); [`sampling`] provides the simulation/testing baseline of the §7.2
-//! comparison.
+//! pool); [`enumerator`] goes beyond the paper's SAT queries to *counting* —
+//! exact failure weight enumerators through the decision-diagram backend
+//! (`veriqec_dd`); [`sampling`] provides the simulation/testing baseline of
+//! the §7.2 comparison.
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 //! ```
 
 pub mod engine;
+pub mod enumerator;
 pub mod parallel;
 pub mod sampling;
 pub mod scenario;
@@ -39,6 +42,7 @@ pub use engine::{
     BatchReport, CorrectionSweep, DetectionSession, Engine, EngineConfig, Job, JobKind, JobOutcome,
     JobReport,
 };
+pub use enumerator::{sat_enumerator, FailureEnumerator, WeightEnumerator};
 pub use parallel::{check_parallel, ParallelConfig, ParallelReport, SplitConfig, SubtaskIter};
 pub use scenario::{
     cnot_propagation_scenario, correction_fault_scenario, ghz_scenario, logical_h_scenario,

@@ -1,0 +1,639 @@
+//! The BDD kernel: hash-consed reduced ordered binary decision diagrams
+//! with an apply cache and exact (weight-stratified) model counting.
+//!
+//! Nodes live in one arena owned by a [`BddManager`]; structural sharing is
+//! enforced by a unique table, so semantic equality of functions is pointer
+//! equality of [`Bdd`] handles. The manager fixes a variable order at
+//! construction ([`BddManager::with_order`] is the ordering hook used by the
+//! CNF compiler's heuristics); levels run top (0) to bottom
+//! (`num_vars − 1`), with the terminals on a virtual level `num_vars`.
+
+use std::collections::HashMap;
+
+/// A handle to a BDD node inside its [`BddManager`].
+///
+/// Handles are canonical: two handles are equal iff they denote the same
+/// boolean function (under the manager's variable order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant-false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// True for the two terminal nodes.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// The arena index (stable for the manager's lifetime).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One decision node: branch on the variable at `level`, `lo` when false,
+/// `hi` when true.
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    level: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+/// Binary operations served by the shared apply cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// Counters of the decision-diagram kernel, reported alongside
+/// [`veriqec_sat::SolverStats`] by the engine's counting jobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DdStats {
+    /// Decision nodes allocated (excluding the two terminals; shared nodes
+    /// count once).
+    pub nodes: u64,
+    /// Apply-cache lookups.
+    pub cache_lookups: u64,
+    /// Apply-cache hits.
+    pub cache_hits: u64,
+}
+
+impl std::ops::AddAssign for DdStats {
+    fn add_assign(&mut self, rhs: DdStats) {
+        self.nodes += rhs.nodes;
+        self.cache_lookups += rhs.cache_lookups;
+        self.cache_hits += rhs.cache_hits;
+    }
+}
+
+impl std::iter::Sum for DdStats {
+    fn sum<I: Iterator<Item = DdStats>>(iter: I) -> DdStats {
+        let mut total = DdStats::default();
+        for s in iter {
+            total += s;
+        }
+        total
+    }
+}
+
+/// An arena of hash-consed BDD nodes over a fixed variable order.
+///
+/// # Examples
+///
+/// ```
+/// use veriqec_dd::{Bdd, BddManager};
+///
+/// let mut m = BddManager::new(3);
+/// let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+/// let ab = m.and(a, b);
+/// let f = m.or(ab, c);
+/// assert_eq!(m.model_count(f), 5); // truth table of a·b + c has 5 ones
+/// assert_eq!(m.model_count(Bdd::TRUE), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    /// `(level, lo, hi) → node`, the hash-consing table.
+    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
+    /// `(op, a, b) → result`, with commutative operands normalized.
+    cache: HashMap<(Op, Bdd, Bdd), Bdd>,
+    /// `var → level` (a permutation of `0..num_vars`).
+    var_to_level: Vec<u32>,
+    /// `level → var`, the inverse permutation.
+    level_to_var: Vec<u32>,
+    stats: DdStats,
+}
+
+impl BddManager {
+    /// A manager over `num_vars` variables in natural order (variable `v` at
+    /// level `v`).
+    pub fn new(num_vars: usize) -> Self {
+        BddManager::with_order((0..num_vars as u32).collect())
+    }
+
+    /// A manager with an explicit order: `var_to_level[v]` is the level of
+    /// variable `v` (level 0 is the root end). This is the ordering hook the
+    /// CNF compiler's heuristics target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var_to_level` is not a permutation of `0..len`.
+    pub fn with_order(var_to_level: Vec<u32>) -> Self {
+        let n = var_to_level.len();
+        let mut level_to_var = vec![u32::MAX; n];
+        for (v, &l) in var_to_level.iter().enumerate() {
+            assert!(
+                (l as usize) < n && level_to_var[l as usize] == u32::MAX,
+                "variable order must be a permutation of 0..{n}"
+            );
+            level_to_var[l as usize] = v as u32;
+        }
+        let terminal_level = n as u32;
+        BddManager {
+            nodes: vec![
+                Node {
+                    level: terminal_level,
+                    lo: Bdd::FALSE,
+                    hi: Bdd::FALSE,
+                },
+                Node {
+                    level: terminal_level,
+                    lo: Bdd::TRUE,
+                    hi: Bdd::TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            cache: HashMap::new(),
+            var_to_level,
+            level_to_var,
+            stats: DdStats::default(),
+        }
+    }
+
+    /// Number of variables in the order.
+    pub fn num_vars(&self) -> usize {
+        self.var_to_level.len()
+    }
+
+    /// The level of variable `v` under the manager's order.
+    pub fn level_of(&self, v: usize) -> u32 {
+        self.var_to_level[v]
+    }
+
+    /// The variable sitting at `level` (the inverse of
+    /// [`BddManager::level_of`]).
+    pub fn var_at_level(&self, level: u32) -> usize {
+        self.level_to_var[level as usize] as usize
+    }
+
+    /// Live decision nodes allocated so far (terminals excluded).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 2
+    }
+
+    /// Kernel counters so far.
+    pub fn stats(&self) -> DdStats {
+        self.stats
+    }
+
+    fn level(&self, f: Bdd) -> u32 {
+        self.nodes[f.index()].level
+    }
+
+    /// The reduced node for `if var(level) then hi else lo`.
+    fn mk(&mut self, level: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(level < self.level(lo) && level < self.level(hi));
+        if let Some(&id) = self.unique.get(&(level, lo, hi)) {
+            return id;
+        }
+        let id = Bdd(self.nodes.len() as u32);
+        self.nodes.push(Node { level, lo, hi });
+        self.stats.nodes += 1;
+        self.unique.insert((level, lo, hi), id);
+        id
+    }
+
+    /// Internal node constructor for the CNF compiler's clause chains
+    /// (callers must keep `level` strictly above both children's levels).
+    pub(crate) fn mk_raw(&mut self, level: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        self.mk(level, lo, hi)
+    }
+
+    /// The function of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn var(&mut self, v: usize) -> Bdd {
+        let level = self.var_to_level[v];
+        self.mk(level, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The literal of variable `v`: the variable itself when `positive`,
+    /// its negation otherwise.
+    pub fn literal(&mut self, v: usize, positive: bool) -> Bdd {
+        let level = self.var_to_level[v];
+        if positive {
+            self.mk(level, Bdd::FALSE, Bdd::TRUE)
+        } else {
+            self.mk(level, Bdd::TRUE, Bdd::FALSE)
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.apply(Op::And, a, b)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.apply(Op::Or, a, b)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.apply(Op::Xor, a, b)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, a: Bdd) -> Bdd {
+        self.apply(Op::Xor, a, Bdd::TRUE)
+    }
+
+    fn apply(&mut self, op: Op, a: Bdd, b: Bdd) -> Bdd {
+        // Terminal/absorption cases that need no recursion.
+        match op {
+            Op::And => {
+                if a == Bdd::FALSE || b == Bdd::FALSE {
+                    return Bdd::FALSE;
+                }
+                if a == Bdd::TRUE {
+                    return b;
+                }
+                if b == Bdd::TRUE {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            Op::Or => {
+                if a == Bdd::TRUE || b == Bdd::TRUE {
+                    return Bdd::TRUE;
+                }
+                if a == Bdd::FALSE {
+                    return b;
+                }
+                if b == Bdd::FALSE {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            Op::Xor => {
+                if a == Bdd::FALSE {
+                    return b;
+                }
+                if b == Bdd::FALSE {
+                    return a;
+                }
+                if a == b {
+                    return Bdd::FALSE;
+                }
+                if a == Bdd::TRUE && b == Bdd::TRUE {
+                    return Bdd::FALSE;
+                }
+            }
+        }
+        // All three ops are commutative: normalize the cache key.
+        let key = if a <= b { (op, a, b) } else { (op, b, a) };
+        self.stats.cache_lookups += 1;
+        if let Some(&r) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return r;
+        }
+        let (la, lb) = (self.level(a), self.level(b));
+        let level = la.min(lb);
+        let (a0, a1) = if la == level {
+            let n = self.nodes[a.index()];
+            (n.lo, n.hi)
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if lb == level {
+            let n = self.nodes[b.index()];
+            (n.lo, n.hi)
+        } else {
+            (b, b)
+        };
+        let lo = self.apply(op, a0, b0);
+        let hi = self.apply(op, a1, b1);
+        let r = self.mk(level, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Existential quantification of variable `v`: `∃v. f`.
+    ///
+    /// Used by the projected CNF compiler to eliminate auxiliary variables
+    /// (Tseitin definitions, reified parities) the moment their last clause
+    /// has been conjoined — the bucket-elimination discipline that keeps
+    /// intermediate diagrams near the size of the final projection.
+    pub fn exists(&mut self, f: Bdd, v: usize) -> Bdd {
+        let target = self.var_to_level[v];
+        let mut memo = HashMap::new();
+        self.exists_rec(f, target, &mut memo)
+    }
+
+    fn exists_rec(&mut self, f: Bdd, target: u32, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+        let level = self.level(f);
+        if level > target {
+            return f; // the variable cannot occur below this node
+        }
+        if level == target {
+            let Node { lo, hi, .. } = self.nodes[f.index()];
+            return self.apply(Op::Or, lo, hi);
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let Node { level, lo, hi } = self.nodes[f.index()];
+        let nlo = self.exists_rec(lo, target, memo);
+        let nhi = self.exists_rec(hi, target, memo);
+        let r = self.mk(level, nlo, nhi);
+        memo.insert(f, r);
+        r
+    }
+
+    // ---------------------------------------------------------------- counting
+
+    /// Exact number of satisfying assignments of `f` over all
+    /// [`BddManager::num_vars`] variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count exceeds `u128` (only possible with more than 128
+    /// variables and a near-vacuous function).
+    pub fn model_count(&self, f: Bdd) -> u128 {
+        self.weight_count(f, &[])[0]
+    }
+
+    /// Weight-stratified model count: `result[w]` is the number of
+    /// satisfying assignments of `f` in which exactly `w` of the
+    /// `indicators` literals are satisfied (a literal is `(variable,
+    /// positive)`). The result has length `indicators.len() + 1` and sums to
+    /// [`BddManager::model_count`]. One bottom-up pass over the diagram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an indicator variable is out of range or repeated, or if a
+    /// coefficient exceeds `u128`.
+    pub fn weight_count(&self, f: Bdd, indicators: &[(usize, bool)]) -> Vec<u128> {
+        let counted: Vec<usize> = (0..self.num_vars()).collect();
+        self.weight_count_over(f, &counted, indicators)
+    }
+
+    /// Weight-stratified *projected* model count: like
+    /// [`BddManager::weight_count`], but assignments range over the
+    /// `counted` variables only — every other variable must have been
+    /// eliminated from `f` (see [`BddManager::exists`] and the projected
+    /// CNF compiler) and contributes no factor. Indicator variables are
+    /// implicitly counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` still depends on a variable outside `counted` ∪
+    /// `indicators`, if an indicator repeats, or on `u128` overflow.
+    pub fn weight_count_over(
+        &self,
+        f: Bdd,
+        counted: &[usize],
+        indicators: &[(usize, bool)],
+    ) -> Vec<u128> {
+        let mut marker: Vec<Mark> = vec![Mark::Skip; self.num_vars()];
+        for &v in counted {
+            assert!(v < self.num_vars(), "counted variable {v} out of range");
+            marker[self.var_to_level[v] as usize] = Mark::Count;
+        }
+        for &(v, positive) in indicators {
+            assert!(v < self.num_vars(), "indicator variable {v} out of range");
+            let l = self.var_to_level[v] as usize;
+            assert!(
+                !matches!(marker[l], Mark::Ind(_)),
+                "indicator variable {v} repeated"
+            );
+            marker[l] = Mark::Ind(positive);
+        }
+        let width = indicators.len() + 1;
+        let mut memo: HashMap<Bdd, Vec<u128>> = HashMap::new();
+        let poly = self.count_rec(f, &marker, width, &mut memo);
+        lift(poly, 0, self.level(f), &marker, width)
+    }
+
+    /// Weight polynomial of `f` over the variables at levels
+    /// `level(f)..num_vars` (levels above `f`'s root are the caller's to
+    /// account for via [`lift`]).
+    fn count_rec(
+        &self,
+        f: Bdd,
+        marker: &[Mark],
+        width: usize,
+        memo: &mut HashMap<Bdd, Vec<u128>>,
+    ) -> Vec<u128> {
+        if f == Bdd::FALSE {
+            return vec![0; width];
+        }
+        if f == Bdd::TRUE {
+            let mut p = vec![0; width];
+            p[0] = 1;
+            return p;
+        }
+        if let Some(p) = memo.get(&f) {
+            return p.clone();
+        }
+        let Node { level, lo, hi } = self.nodes[f.index()];
+        let lo_p = {
+            let p = self.count_rec(lo, marker, width, memo);
+            lift(p, level + 1, self.level(lo), marker, width)
+        };
+        let hi_p = {
+            let p = self.count_rec(hi, marker, width, memo);
+            lift(p, level + 1, self.level(hi), marker, width)
+        };
+        let mut p = vec![0u128; width];
+        for w in 0..width {
+            let (lo_w, hi_w) = match marker[level as usize] {
+                // Indicator satisfied on the hi edge: hi models shift up one
+                // weight; dually for a negative indicator.
+                Mark::Ind(true) => (lo_p[w], if w > 0 { hi_p[w - 1] } else { 0 }),
+                Mark::Ind(false) => (if w > 0 { lo_p[w - 1] } else { 0 }, hi_p[w]),
+                Mark::Count => (lo_p[w], hi_p[w]),
+                Mark::Skip => panic!(
+                    "projected-out variable {} still occurs in the diagram",
+                    self.level_to_var[level as usize]
+                ),
+            };
+            p[w] = lo_w.checked_add(hi_w).expect("model count overflows u128");
+        }
+        memo.insert(f, p.clone());
+        p
+    }
+}
+
+/// How a level participates in a count: not at all (projected out), as an
+/// anonymous counted variable, or as a weight indicator with a polarity.
+#[derive(Clone, Copy, Debug)]
+enum Mark {
+    Skip,
+    Count,
+    Ind(bool),
+}
+
+/// Accounts for the free variables at levels `from..to`: a counted level
+/// doubles every coefficient, an indicator level convolves with `(1 + x)`
+/// (the free variable contributes weight 0 or 1), a projected-out level
+/// contributes nothing.
+fn lift(mut p: Vec<u128>, from: u32, to: u32, marker: &[Mark], width: usize) -> Vec<u128> {
+    for level in from..to {
+        match marker[level as usize] {
+            Mark::Ind(_) => {
+                let mut next = vec![0u128; width];
+                for w in 0..width {
+                    let mut c = p[w];
+                    if w > 0 {
+                        c = c.checked_add(p[w - 1]).expect("model count overflows u128");
+                    }
+                    next[w] = c;
+                }
+                p = next;
+            }
+            Mark::Count => {
+                for c in &mut p {
+                    *c = c.checked_mul(2).expect("model count overflows u128");
+                }
+            }
+            Mark::Skip => {}
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_literals() {
+        let mut m = BddManager::new(2);
+        assert_eq!(m.model_count(Bdd::TRUE), 4);
+        assert_eq!(m.model_count(Bdd::FALSE), 0);
+        let a = m.var(0);
+        assert_eq!(m.model_count(a), 2);
+        let na = m.literal(0, false);
+        assert_eq!(m.not(a), na);
+        assert_eq!(m.model_count(na), 2);
+    }
+
+    #[test]
+    fn hash_consing_makes_equality_structural() {
+        let mut m = BddManager::new(3);
+        let (a, b) = (m.var(0), m.var(1));
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba);
+        let lhs = m.or(ab, a); // absorption: a·b + a = a
+        assert_eq!(lhs, a);
+    }
+
+    #[test]
+    fn xor_chain_counts_parity() {
+        // x0 ^ x1 ^ x2 = 1 has exactly half the assignments.
+        let mut m = BddManager::new(3);
+        let mut acc = Bdd::FALSE;
+        for v in 0..3 {
+            let x = m.var(v);
+            acc = m.xor(acc, x);
+        }
+        assert_eq!(m.model_count(acc), 4);
+        // An XOR chain is linear in the number of variables (the arena also
+        // holds the intermediate literals/negations, hence the slack).
+        assert!(m.node_count() <= 4 * 3, "{}", m.node_count());
+    }
+
+    #[test]
+    fn weight_count_stratifies() {
+        // f = true over 3 vars, indicators = all three positives: binomial
+        // coefficients.
+        let m = BddManager::new(3);
+        let w = m.weight_count(Bdd::TRUE, &[(0, true), (1, true), (2, true)]);
+        assert_eq!(w, vec![1, 3, 3, 1]);
+    }
+
+    #[test]
+    fn weight_count_respects_polarity() {
+        // f = x0 with one *negative* indicator on x0: every model has the
+        // indicator unsatisfied.
+        let mut m = BddManager::new(2);
+        let f = m.var(0);
+        assert_eq!(m.weight_count(f, &[(0, false)]), vec![2, 0]);
+        assert_eq!(m.weight_count(f, &[(0, true)]), vec![0, 2]);
+        // Indicator on a variable f does not mention: free, so it splits the
+        // count evenly.
+        assert_eq!(m.weight_count(f, &[(1, true)]), vec![1, 1]);
+    }
+
+    #[test]
+    fn weight_count_sums_to_model_count() {
+        let mut m = BddManager::new(4);
+        let (a, b, c) = (m.var(0), m.var(1), m.var(3));
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let total = m.model_count(f);
+        let w = m.weight_count(f, &[(0, true), (2, false), (3, true)]);
+        assert_eq!(w.iter().sum::<u128>(), total);
+    }
+
+    #[test]
+    fn exists_quantifies_one_variable() {
+        // ∃b. (a ∧ b) = a;  ∃a. (a ∧ b) = b;  ∃a. (a ⊕ b) = true.
+        let mut m = BddManager::new(2);
+        let (a, b) = (m.var(0), m.var(1));
+        let ab = m.and(a, b);
+        assert_eq!(m.exists(ab, 1), a);
+        assert_eq!(m.exists(ab, 0), b);
+        let x = m.xor(a, b);
+        assert_eq!(m.exists(x, 0), Bdd::TRUE);
+        // Quantifying a variable the function ignores is the identity.
+        assert_eq!(m.exists(a, 1), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "projected-out")]
+    fn counting_over_live_projected_variable_panics() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let _ = m.weight_count_over(a, &[1], &[]);
+    }
+
+    #[test]
+    fn custom_order_preserves_semantics() {
+        // Same function under reversed order: same counts.
+        let build = |m: &mut BddManager| {
+            let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        let mut natural = BddManager::new(3);
+        let f1 = build(&mut natural);
+        let mut reversed = BddManager::with_order(vec![2, 1, 0]);
+        let f2 = build(&mut reversed);
+        assert_eq!(natural.model_count(f1), reversed.model_count(f2));
+        assert_eq!(
+            natural.weight_count(f1, &[(1, true)]),
+            reversed.weight_count(f2, &[(1, true)])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_non_permutation_order() {
+        let _ = BddManager::with_order(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn rejects_repeated_indicator() {
+        let m = BddManager::new(2);
+        let _ = m.weight_count(Bdd::TRUE, &[(0, true), (0, false)]);
+    }
+}

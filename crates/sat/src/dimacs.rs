@@ -116,6 +116,20 @@ impl Cnf {
     }
 }
 
+/// Truth-table reference shared by the unit tests and proptests below:
+/// every satisfying assignment of `c`, as variable bitmasks.
+#[cfg(test)]
+fn models(c: &Cnf) -> Vec<u32> {
+    (0u32..1 << c.num_vars)
+        .filter(|bits| {
+            c.clauses.iter().all(|cl| {
+                cl.iter()
+                    .any(|l| ((bits >> l.var().0) & 1 == 1) == l.is_positive())
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +156,95 @@ mod tests {
         assert!(Cnf::parse("p dnf 1 1\n1 0\n").is_err());
         assert!(Cnf::parse("1 0\n").is_err());
         assert!(Cnf::parse("p cnf 1 1\n2 0\n").is_err());
+    }
+
+    #[test]
+    fn export_reconstructs_units_and_clauses() {
+        // Unit clauses land on the trail, satisfied clauses are dropped at
+        // add time; the export must still be model-equivalent.
+        let cnf = Cnf::parse("p cnf 3 3\n1 0\n1 2 0\n-1 3 0\n").unwrap();
+        let exported = cnf.into_solver().export_cnf();
+        assert_eq!(exported.num_vars, 3);
+        // Same model set: x1 = 1, x3 = 1, x2 free.
+        assert_eq!(models(&cnf), models(&exported));
+    }
+
+    #[test]
+    fn export_of_root_conflict_is_empty_clause() {
+        let cnf = Cnf::parse("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        let exported = cnf.into_solver().export_cnf();
+        assert!(exported.clauses.contains(&Vec::new()));
+        assert_eq!(
+            Cnf::parse(&exported.to_dimacs()).unwrap().clauses,
+            exported.clauses
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::SatResult;
+    use proptest::prelude::*;
+
+    fn arb_cnf() -> impl Strategy<Value = Cnf> {
+        (1usize..12).prop_flat_map(|num_vars| {
+            proptest::collection::vec(
+                proptest::collection::vec((0..num_vars, any::<bool>()), 0..5),
+                0..20,
+            )
+            .prop_map(move |clauses| Cnf {
+                num_vars,
+                clauses: clauses
+                    .into_iter()
+                    .map(|c| {
+                        c.into_iter()
+                            .map(|(v, pos)| Lit::new(Var(v as u32), pos))
+                            .collect()
+                    })
+                    .collect(),
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn to_dimacs_parse_roundtrip(cnf in arb_cnf()) {
+            // The writer/parser pair must be lossless, including empty
+            // clauses and empty formulas.
+            let reparsed = Cnf::parse(&cnf.to_dimacs()).expect("writer output parses");
+            prop_assert_eq!(&reparsed, &cnf);
+            // And a second trip is a fixpoint.
+            let again = Cnf::parse(&reparsed.to_dimacs()).unwrap();
+            prop_assert_eq!(again, reparsed);
+        }
+
+        #[test]
+        fn export_cnf_is_model_equivalent(cnf in arb_cnf()) {
+            // Loading into a solver and exporting back may reshape the
+            // clause set (units on the trail, satisfied clauses dropped,
+            // root-false literals stripped) but must preserve the exact set
+            // of satisfying assignments — the counting backend depends on it.
+            let solver = cnf.into_solver();
+            let exported = solver.export_cnf();
+            prop_assert_eq!(exported.num_vars, cnf.num_vars);
+            prop_assert_eq!(models(&exported), models(&cnf));
+        }
+
+        #[test]
+        fn export_cnf_after_solving_stays_model_equivalent(cnf in arb_cnf()) {
+            // Solving adds learnt clauses and root-level implications; the
+            // export must still denote the same model set.
+            let mut solver = cnf.into_solver();
+            let _ = solver.solve(&[]);
+            let exported = solver.export_cnf();
+            prop_assert_eq!(models(&exported), models(&cnf));
+            // Sanity: the exported formula solves to the same result.
+            let roundtrip = exported.into_solver().solve(&[]);
+            let expected = if models(&cnf).is_empty() { SatResult::Unsat } else { SatResult::Sat };
+            prop_assert_eq!(roundtrip, expected);
+        }
     }
 }

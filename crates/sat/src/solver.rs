@@ -232,6 +232,40 @@ impl Solver {
         self.stats
     }
 
+    /// Exports the solver's clause database as a model-equivalent CNF over
+    /// the same variable set — the bridge to the decision-diagram counting
+    /// backend (`veriqec_dd`) and to DIMACS debugging artifacts.
+    ///
+    /// The solver simplifies clauses as they arrive (dropping satisfied
+    /// clauses, stripping root-false literals, enqueuing units straight onto
+    /// the trail), so the export reconstructs an equivalent formula: every
+    /// root-level trail literal as a unit clause plus every live original
+    /// (non-learnt) clause. Each simplification is justified by a root-level
+    /// implication, and the implied units are included, so the satisfying
+    /// assignments — not just satisfiability — are preserved exactly.
+    /// Learnt clauses are implied and therefore omitted. An unsatisfiable
+    /// root state exports as the empty clause.
+    pub fn export_cnf(&self) -> crate::Cnf {
+        let mut clauses = Vec::new();
+        if !self.ok {
+            clauses.push(Vec::new());
+        } else {
+            let level0 = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+            for &l in &self.trail[..level0] {
+                clauses.push(vec![l]);
+            }
+            for c in &self.clauses {
+                if !c.deleted && !c.learnt {
+                    clauses.push(c.lits.clone());
+                }
+            }
+        }
+        crate::Cnf {
+            num_vars: self.num_vars(),
+            clauses,
+        }
+    }
+
     /// Adds a clause. Returns `false` if the solver is already in an
     /// unsatisfiable state (adding the empty clause, or a root-level conflict).
     ///

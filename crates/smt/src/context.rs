@@ -503,6 +503,35 @@ impl SmtContext {
         self.solver.num_vars()
     }
 
+    // ------------------------------------------------------------- counting
+
+    /// Exports the assembled clause set as a model-equivalent CNF (see
+    /// [`veriqec_sat::Solver::export_cnf`]). Together with
+    /// [`SmtContext::sat_lit`] this is the hand-off to the decision-diagram
+    /// counting backend: every auxiliary variable this context introduces
+    /// (Tseitin definitions, totalizer outputs) is functionally determined
+    /// by the classical variables, so the exported CNF has exactly one model
+    /// per satisfying assignment of the classical variables.
+    pub fn export_cnf(&self) -> veriqec_sat::Cnf {
+        self.solver.export_cnf()
+    }
+
+    /// The SAT literal already allocated for a classical variable, or `None`
+    /// if the context has never seen it. Unlike [`SmtContext::lit_of`] this
+    /// never allocates, so it is safe to call while assembling an
+    /// indicator-literal map for an exported CNF.
+    pub fn sat_lit(&self, v: VarId) -> Option<Lit> {
+        self.varmap.get(&v).map(|sv| sv.positive())
+    }
+
+    /// The full classical-variable → SAT-literal map, in first-use order
+    /// (the indicator map shipped alongside [`SmtContext::export_cnf`]).
+    pub fn var_map(&self) -> impl Iterator<Item = (VarId, Lit)> + '_ {
+        self.tracked
+            .iter()
+            .map(|&v| (v, self.varmap[&v].positive()))
+    }
+
     /// Number of clauses in the underlying solver.
     pub fn num_clauses(&self) -> usize {
         self.solver.num_clauses()
@@ -714,6 +743,38 @@ mod tests {
         );
         let e = BExp::eq(prod, IExp::constant(1));
         assert!(ctx.assert(&e).is_err());
+    }
+
+    #[test]
+    fn export_cnf_has_one_model_per_classical_assignment() {
+        // The counting backend relies on every auxiliary variable (Tseitin
+        // definitions, totalizer outputs) being functionally determined by
+        // the classical variables: the exported CNF must have exactly one
+        // model per satisfying classical assignment. Σx ≤ 2 over 4 vars has
+        // C(4,0) + C(4,1) + C(4,2) = 11 of them.
+        let (_, vs) = vars(4);
+        let mut ctx = SmtContext::new();
+        let lits: Vec<Lit> = vs.iter().map(|&v| ctx.lit_of(v)).collect();
+        let h = ctx.cardinality(&lits);
+        if let Some(l) = h.at_most(2) {
+            ctx.add_clause([l]);
+        }
+        let cnf = ctx.export_cnf();
+        assert!(cnf.num_vars <= 20, "small enough to brute force");
+        let count = (0u32..1 << cnf.num_vars)
+            .filter(|bits| {
+                cnf.clauses.iter().all(|cl| {
+                    cl.iter()
+                        .any(|l| ((bits >> l.var().0) & 1 == 1) == l.is_positive())
+                })
+            })
+            .count();
+        assert_eq!(count, 11);
+        // And the indicator map points at the right literals.
+        for (&v, &l) in vs.iter().zip(&lits) {
+            assert_eq!(ctx.sat_lit(v), Some(l));
+        }
+        assert_eq!(ctx.var_map().count(), 4);
     }
 
     #[test]

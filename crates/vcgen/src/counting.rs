@@ -1,0 +1,178 @@
+//! Lowering a [`VcProblem`] to a *counting* instance for the
+//! decision-diagram backend.
+//!
+//! The SAT discharge path asks whether a violating assignment exists; the
+//! counting path asks *how many* there are, stratified by the Hamming
+//! weight of a designated indicator set (typically the scenario's error
+//! variables). The lowering reuses the exact refutation encoding of
+//! [`VcProblem::assert_base`] / [`VcProblem::goal_lit`] — base constraints
+//! plus the violated-target disjunction asserted — then exports the
+//! assembled CNF with the indicator-literal map, so the SAT and counting
+//! backends can never drift apart on what they encode.
+
+use veriqec_cexpr::VarId;
+use veriqec_sat::{Cnf, Lit, SolverConfig};
+use veriqec_smt::SmtContext;
+
+use crate::check::VcProblem;
+
+/// A [`VcProblem`] lowered to clausal form for exact counting.
+///
+/// The CNF's models are the problem's *violating witnesses*: assignments to
+/// every classical variable (errors, syndromes, corrections, branch
+/// selectors) that satisfy the error model, guards and decoder
+/// specification while violating some target. Auxiliary variables
+/// introduced by the encoding are functionally determined, so they never
+/// inflate the count; classical variables that are not determined by the
+/// errors (e.g. ties between minimum-weight corrections) do multiply it —
+/// the count is over witnesses, not error vectors. For the per-error-vector
+/// failure enumerator use the detection-task encoding
+/// (`veriqec::enumerator`), whose variables are all error components.
+#[derive(Clone, Debug)]
+pub struct CountingInstance {
+    /// The assembled clause set (model-equivalent export of the refutation
+    /// encoding).
+    pub cnf: Cnf,
+    /// SAT literals of the requested indicator variables, in request order:
+    /// the weight-stratification set for the counting backend.
+    pub indicators: Vec<Lit>,
+    /// Every classical variable the encoding saw, with its SAT literal
+    /// (for decoding counted configurations back to scenario variables).
+    pub var_map: Vec<(VarId, Lit)>,
+}
+
+impl VcProblem {
+    /// Lowers the problem to a [`CountingInstance`] whose models are the
+    /// violating witnesses, with `indicators` (typically the scenario's
+    /// error variables) mapped to SAT literals for weight stratification.
+    ///
+    /// A problem with no targets is trivially verified; its instance is the
+    /// empty-clause CNF with zero models.
+    pub fn counting_instance(&self, indicators: &[VarId]) -> CountingInstance {
+        let mut ctx = SmtContext::with_config(SolverConfig::default());
+        self.assert_base(&mut ctx);
+        match self.goal_lit(&mut ctx) {
+            Some(goal) => {
+                ctx.add_clause([goal]);
+            }
+            None => {
+                // Trivially verified: no violating witness may be counted.
+                let f = !ctx.lit_true();
+                ctx.add_clause([f]);
+            }
+        }
+        let indicators = indicators
+            .iter()
+            .map(|&v| {
+                // Touch the variable so instances can stratify over
+                // indicators the formula happens not to mention (they count
+                // as free variables).
+                ctx.lit_of(v)
+            })
+            .collect();
+        CountingInstance {
+            cnf: ctx.export_cnf(),
+            indicators,
+            var_map: ctx.var_map().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReducedVc;
+    use veriqec_cexpr::{Affine, BExp, VarRole, VarTable};
+    use veriqec_dd::{compile_cnf, CompileConfig};
+
+    fn problem_with_targets(targets: Vec<Affine>, constraints: Vec<BExp>) -> VcProblem {
+        VcProblem {
+            vc: ReducedVc {
+                or_vars: vec![],
+                guards: vec![],
+                targets,
+                classical: vec![],
+            },
+            error_constraints: constraints,
+            decoder_specs: vec![],
+        }
+    }
+
+    #[test]
+    fn verified_problem_counts_zero_witnesses() {
+        let problem = problem_with_targets(vec![], vec![]);
+        let inst = problem.counting_instance(&[]);
+        let compiled = compile_cnf(&inst.cnf, &CompileConfig::default()).unwrap();
+        assert_eq!(compiled.manager.model_count(compiled.root), 0);
+    }
+
+    #[test]
+    fn xor_target_counts_odd_assignments() {
+        // Target e0 ^ e1 violated ⇔ e0 + e1 odd: 2 witnesses, one at each
+        // indicator weight 1.
+        let mut vt = VarTable::new();
+        let e0 = vt.fresh("e0", VarRole::Error);
+        let e1 = vt.fresh("e1", VarRole::Error);
+        let problem = problem_with_targets(vec![Affine::var(e0) ^ Affine::var(e1)], vec![]);
+        let inst = problem.counting_instance(&[e0, e1]);
+        assert_eq!(inst.indicators.len(), 2);
+        let compiled = compile_cnf(&inst.cnf, &CompileConfig::default()).unwrap();
+        let inds: Vec<(usize, bool)> = inst
+            .indicators
+            .iter()
+            .map(|l| (l.var().index(), l.is_positive()))
+            .collect();
+        let by_weight = compiled.manager.weight_count(compiled.root, &inds);
+        assert_eq!(by_weight, vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn weight_bound_truncates_the_count() {
+        // Targets e0, e1, e2 (violated when any is 1) under Σe ≤ 1: the
+        // witnesses are exactly the three weight-1 vectors.
+        let mut vt = VarTable::new();
+        let es: Vec<_> = (0..3)
+            .map(|i| vt.fresh_indexed("e", i, VarRole::Error))
+            .collect();
+        let problem = problem_with_targets(
+            es.iter().map(|&e| Affine::var(e)).collect(),
+            vec![BExp::weight_le(es.iter().copied(), 1)],
+        );
+        let inst = problem.counting_instance(&es);
+        let compiled = compile_cnf(&inst.cnf, &CompileConfig::default()).unwrap();
+        let inds: Vec<(usize, bool)> = inst
+            .indicators
+            .iter()
+            .map(|l| (l.var().index(), l.is_positive()))
+            .collect();
+        let by_weight = compiled.manager.weight_count(compiled.root, &inds);
+        assert_eq!(by_weight, vec![0, 3, 0, 0]);
+        // Counting agrees with the SAT discharge on existence.
+        let (outcome, _) = problem.check();
+        assert!(
+            matches!(outcome, crate::VcOutcome::CounterExample(_)),
+            "nonzero count must mean a counterexample exists"
+        );
+    }
+
+    #[test]
+    fn unmentioned_indicator_is_free() {
+        // One target over e0; stratifying over an unrelated e1 splits the
+        // count evenly across its two values.
+        let mut vt = VarTable::new();
+        let e0 = vt.fresh("e0", VarRole::Error);
+        let e1 = vt.fresh("e1", VarRole::Error);
+        let problem = problem_with_targets(vec![Affine::var(e0)], vec![]);
+        let inst = problem.counting_instance(&[e1]);
+        let compiled = compile_cnf(&inst.cnf, &CompileConfig::default()).unwrap();
+        let inds: Vec<(usize, bool)> = inst
+            .indicators
+            .iter()
+            .map(|l| (l.var().index(), l.is_positive()))
+            .collect();
+        assert_eq!(
+            compiled.manager.weight_count(compiled.root, &inds),
+            vec![1, 1]
+        );
+    }
+}

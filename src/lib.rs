@@ -8,6 +8,7 @@
 pub use veriqec;
 pub use veriqec_cexpr;
 pub use veriqec_codes;
+pub use veriqec_dd;
 pub use veriqec_decoder;
 pub use veriqec_gf2;
 pub use veriqec_logic;
@@ -22,6 +23,7 @@ pub use veriqec_wp;
 /// One-stop imports for interactive use.
 pub mod prelude {
     pub use veriqec::engine::{CorrectionSweep, DetectionSession, Engine, EngineConfig, Job};
+    pub use veriqec::enumerator::{FailureEnumerator, WeightEnumerator};
     pub use veriqec::scenario::{memory_scenario, ErrorModel, Scenario, ScenarioBuilder};
     pub use veriqec::tasks::{
         find_distance, verify_correction, verify_detection, DetectionOutcome, DistanceOutcome,
