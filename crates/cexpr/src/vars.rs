@@ -29,6 +29,10 @@ pub enum VarRole {
     Propagation,
     /// Syndrome: outcome of a stabilizer measurement (`s_i`).
     Syndrome,
+    /// Measurement-flip indicator of a faulty measurement
+    /// (`m_i` in `x := meas[P] ⊕ m_i`): constrained by the measurement-error
+    /// weight budget, separately from data errors.
+    MeasError,
     /// Correction indicator produced by a decoder (`x_i` / `z_i`).
     Correction,
     /// Free parameter of the specification (e.g. the logical phase `b`).

@@ -20,6 +20,7 @@
 mod code;
 mod concat;
 pub mod css;
+mod extraction;
 mod hgp;
 pub mod search;
 mod surface;
@@ -28,6 +29,7 @@ mod zoo;
 pub use code::{enumerate_errors, CodeValidationError, StabilizerCode};
 pub use concat::concatenate;
 pub use css::{css_code, self_dual_css};
+pub use extraction::{ExtractionSchedule, MeasurementSite};
 pub use hgp::{hamming_7_4, hgp_hamming, hypergraph_product, repetition_circulant, toric};
 pub use surface::{rotated_surface, xzzx_surface};
 pub use zoo::{

@@ -65,12 +65,32 @@ impl DetectionSession {
     /// Encodes the detection formula for `code` once (the shared Eqn. 15
     /// assembly of [`crate::enumerator`], plus this session's totalizer).
     pub fn new(code: &StabilizerCode, config: SolverConfig) -> Self {
+        Self::from_parts(crate::enumerator::detection_parts(code, config))
+    }
+
+    /// Like [`DetectionSession::new`], but under a (possibly noisy)
+    /// extraction schedule: the threshold `dt` then bounds the *total*
+    /// weight `|supp(e)| + |m|` of an undetected `(error, flip)` pair whose
+    /// observed syndromes vanish in every round — the faulty-measurement
+    /// form of precise detection.
+    pub fn with_schedule(
+        code: &StabilizerCode,
+        schedule: &veriqec_codes::ExtractionSchedule,
+        config: SolverConfig,
+    ) -> Self {
+        Self::from_parts(crate::enumerator::detection_parts_with_schedule(
+            code, schedule, config,
+        ))
+    }
+
+    fn from_parts(parts: crate::enumerator::DetectionParts) -> Self {
         let crate::enumerator::DetectionParts {
             mut ctx,
             ex,
             ez,
             support: support_lits,
-        } = crate::enumerator::detection_parts(code, config);
+            ..
+        } = parts;
         // One totalizer serves the whole sweep: the lower bound (≥ 1) is
         // constant and baked in, the upper bound arrives per query as an
         // assumption.
@@ -212,6 +232,155 @@ impl CorrectionSweep {
     }
 }
 
+/// An incremental sweep over the faulty-measurement fault-tolerance grid.
+///
+/// The base formula of an r-round faulty-measurement scenario is encoded
+/// once; each grid point `(t_data, t_meas)` is decided under assumption
+/// literals drawn from four kinds of shared [`CardinalityHandle`]s — the
+/// adversary's data-error and measurement-flip budgets, plus every faulty
+/// decoder's *claim* budgets (`Σc ≤ t_data`, `Σf ≤ t_meas`; see
+/// [`crate::tasks::build_problem_split`] for why the claims are bounded).
+/// One encoding therefore serves the whole correctable frontier.
+#[derive(Clone, Debug)]
+pub struct FaultToleranceSweep {
+    session: VcSession,
+    data: CardinalityHandle,
+    meas: CardinalityHandle,
+    /// Per faulty decoder: (corrections handle, claimed-flips handle).
+    claims: Vec<(CardinalityHandle, CardinalityHandle)>,
+}
+
+impl FaultToleranceSweep {
+    /// Encodes the scenario once, leaving every budget open.
+    pub fn new(scenario: &Scenario, constraints: Vec<BExp>, config: SolverConfig) -> Self {
+        let problem = build_problem_unbounded(scenario, constraints);
+        Self::from_problem(
+            &problem,
+            &scenario.error_vars,
+            &scenario.meas_error_vars,
+            config,
+        )
+    }
+
+    /// Opens a sweep over an already-assembled unbounded problem (the batch
+    /// driver's path: jobs carry problems, not scenarios).
+    pub fn from_problem(
+        problem: &VcProblem,
+        data_vars: &[VarId],
+        meas_vars: &[VarId],
+        config: SolverConfig,
+    ) -> Self {
+        let mut session = problem.session(config);
+        let lits = |session: &mut VcSession, vars: &[VarId]| -> Vec<Lit> {
+            vars.iter().map(|&v| session.ctx_mut().lit_of(v)).collect()
+        };
+        let data_lits = lits(&mut session, data_vars);
+        let meas_lits = lits(&mut session, meas_vars);
+        let data = session.ctx_mut().cardinality(&data_lits);
+        let meas = session.ctx_mut().cardinality(&meas_lits);
+        let claims = problem
+            .decoder_specs
+            .iter()
+            .filter(|spec| !spec.flips.is_empty())
+            .map(|spec| {
+                let c = lits(&mut session, &spec.corrections);
+                let f = lits(&mut session, &spec.flips);
+                let ch = session.ctx_mut().cardinality(&c);
+                let fh = session.ctx_mut().cardinality(&f);
+                (ch, fh)
+            })
+            .collect();
+        FaultToleranceSweep {
+            session,
+            data,
+            meas,
+            claims,
+        }
+    }
+
+    /// Assumption literals selecting one `(t_data, t_meas)` grid point.
+    fn assumptions(&self, t_data: i64, t_meas: i64) -> Vec<Lit> {
+        let mut assumptions: Vec<Lit> = self.data.at_most(t_data).into_iter().collect();
+        assumptions.extend(self.meas.at_most(t_meas));
+        for (c, f) in &self.claims {
+            assumptions.extend(c.at_most(t_data));
+            assumptions.extend(f.at_most(t_meas));
+        }
+        assumptions
+    }
+
+    /// Decides one grid point: is every configuration of `≤ t_data` data
+    /// errors and `≤ t_meas` measurement flips corrected?
+    pub fn check(&mut self, t_data: i64, t_meas: i64) -> VcOutcome {
+        let assumptions = self.assumptions(t_data, t_meas);
+        self.session.query(&assumptions)
+    }
+
+    /// Installs a cooperative stop flag; in-flight queries abort with
+    /// [`VcOutcome::Unknown`].
+    pub fn set_stop_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.session.set_stop_flag(flag);
+    }
+
+    /// Number of base encodings performed (always 1).
+    pub fn encode_count(&self) -> usize {
+        self.session.encode_count()
+    }
+
+    /// Number of grid-point queries so far.
+    pub fn query_count(&self) -> usize {
+        self.session.query_count()
+    }
+
+    /// The underlying session (problem-size and solver statistics).
+    pub fn session(&self) -> &VcSession {
+        &self.session
+    }
+}
+
+/// One grid point of a fault-tolerance sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrontierPoint {
+    /// Data-error budget.
+    pub t_data: usize,
+    /// Measurement-flip budget.
+    pub t_meas: usize,
+    /// `Some(true)` verified, `Some(false)` counterexample, `None` when the
+    /// solver budget ran out or the job was cancelled mid-grid.
+    pub correctable: Option<bool>,
+}
+
+/// The correctable frontier reported by a [`JobKind::FaultTolerance`] job:
+/// every `(t_data, t_meas)` grid point with its verdict.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FaultToleranceFrontier {
+    /// Grid points in row-major order (`t_data` outer, `t_meas` inner).
+    pub points: Vec<FrontierPoint>,
+}
+
+impl FaultToleranceFrontier {
+    /// The verdict at one grid point, if it was decided.
+    pub fn correctable(&self, t_data: usize, t_meas: usize) -> Option<bool> {
+        self.points
+            .iter()
+            .find(|p| p.t_data == t_data && p.t_meas == t_meas)
+            .and_then(|p| p.correctable)
+    }
+
+    /// The largest `t_meas` verified at `t_data`, scanning contiguously
+    /// from 0 (`None` when even `t_meas = 0` is not verified).
+    pub fn max_t_meas(&self, t_data: usize) -> Option<usize> {
+        let mut best = None;
+        for tm in 0.. {
+            match self.correctable(t_data, tm) {
+                Some(true) => best = Some(tm),
+                _ => break,
+            }
+        }
+        best
+    }
+}
+
 // -------------------------------------------------------------- batch driver
 
 /// Configuration of the batch [`Engine`].
@@ -281,6 +450,22 @@ pub enum JobKind {
         /// layered on top as the stop flag).
         config: CompileConfig,
     },
+    /// Fault-tolerance frontier sweep over an r-round faulty-measurement
+    /// scenario: one base encoding, every `(t_data, t_meas)` pair up to the
+    /// maxima decided as an assumption query (the [`FaultToleranceSweep`]
+    /// discipline on a worker).
+    FaultTolerance {
+        /// The unbounded problem (no weight constraints baked in).
+        problem: VcProblem,
+        /// Data-error indicators.
+        data_vars: Vec<VarId>,
+        /// Measurement-flip indicators.
+        meas_vars: Vec<VarId>,
+        /// Largest data budget to sweep (inclusive).
+        max_t_data: usize,
+        /// Largest measurement budget to sweep (inclusive).
+        max_t_meas: usize,
+    },
 }
 
 impl Job {
@@ -333,6 +518,27 @@ impl Job {
             kind: JobKind::Count { code, config },
         }
     }
+
+    /// A fault-tolerance frontier job over a faulty-measurement scenario:
+    /// sweeps every `(t_data, t_meas)` pair up to the given maxima on one
+    /// persistent session.
+    pub fn fault_tolerance(
+        name: impl Into<String>,
+        scenario: &Scenario,
+        max_t_data: usize,
+        max_t_meas: usize,
+    ) -> Job {
+        Job {
+            name: name.into(),
+            kind: JobKind::FaultTolerance {
+                problem: build_problem_unbounded(scenario, vec![]),
+                data_vars: scenario.error_vars.clone(),
+                meas_vars: scenario.meas_error_vars.clone(),
+                max_t_data,
+                max_t_meas,
+            },
+        }
+    }
 }
 
 /// Outcome of one [`Job`].
@@ -350,6 +556,8 @@ pub enum JobOutcome {
     Distance(DistanceOutcome),
     /// Counting result: the full failure weight enumerator.
     Enumerator(WeightEnumerator),
+    /// Fault-tolerance sweep result: the correctable frontier.
+    Frontier(FaultToleranceFrontier),
     /// The batch was cancelled before this job completed.
     Cancelled,
 }
@@ -386,6 +594,7 @@ impl JobOutcome {
             JobOutcome::Distance(DistanceOutcome::AtLeast(_)) => "distance_at_least",
             JobOutcome::Distance(DistanceOutcome::Inconclusive { .. }) => "distance_inconclusive",
             JobOutcome::Enumerator(_) => "enumerator",
+            JobOutcome::Frontier(_) => "frontier",
             JobOutcome::Cancelled => "cancelled",
         }
     }
@@ -498,6 +707,24 @@ impl BatchReport {
                     }
                     out.push_str(&format!(",\"coefficients\":{:?}", e.coefficients));
                 }
+                JobOutcome::Frontier(f) => {
+                    out.push_str(",\"points\":[");
+                    for (k, p) in f.points.iter().enumerate() {
+                        if k > 0 {
+                            out.push(',');
+                        }
+                        let verdict = match p.correctable {
+                            Some(true) => "true",
+                            Some(false) => "false",
+                            None => "null",
+                        };
+                        out.push_str(&format!(
+                            "{{\"t_data\":{},\"t_meas\":{},\"correctable\":{verdict}}}",
+                            p.t_data, p.t_meas
+                        ));
+                    }
+                    out.push(']');
+                }
                 _ => {}
             }
             out.push_str(&format!(
@@ -575,9 +802,10 @@ impl JobState {
             JobKind::Correction {
                 enum_vars, split, ..
             } => JobSource::Cubes(SubtaskIter::new(enum_vars.clone(), *split)),
-            JobKind::Detection { .. } | JobKind::Distance { .. } | JobKind::Count { .. } => {
-                JobSource::Whole { claimed: false }
-            }
+            JobKind::Detection { .. }
+            | JobKind::Distance { .. }
+            | JobKind::Count { .. }
+            | JobKind::FaultTolerance { .. } => JobSource::Whole { claimed: false },
         };
         JobState {
             name: job.name,
@@ -856,6 +1084,45 @@ impl Engine {
                                 Err(CompileError::Cancelled) => {}
                             }
                         }
+                        JobKind::FaultTolerance {
+                            problem,
+                            data_vars,
+                            meas_vars,
+                            max_t_data,
+                            max_t_meas,
+                        } => {
+                            let mut sweep = FaultToleranceSweep::from_problem(
+                                problem,
+                                data_vars,
+                                meas_vars,
+                                self.config.solver,
+                            );
+                            sweep.set_stop_flag(Arc::clone(&st.cancel));
+                            let mut points = Vec::new();
+                            'grid: for td in 0..=*max_t_data {
+                                for tm in 0..=*max_t_meas {
+                                    let correctable = match sweep.check(td as i64, tm as i64) {
+                                        VcOutcome::Verified => Some(true),
+                                        VcOutcome::CounterExample(_) => Some(false),
+                                        VcOutcome::Unknown => None,
+                                    };
+                                    points.push(FrontierPoint {
+                                        t_data: td,
+                                        t_meas: tm,
+                                        correctable,
+                                    });
+                                    if correctable.is_none() && st.cancel.load(Ordering::Relaxed) {
+                                        break 'grid;
+                                    }
+                                }
+                            }
+                            *st.stats.lock().expect("poisoned") += sweep.session().solver_stats();
+                            // A batch cancellation mid-grid is not a result;
+                            // leaving the outcome empty reports Cancelled.
+                            if !st.cancel.load(Ordering::Relaxed) {
+                                st.record(JobOutcome::Frontier(FaultToleranceFrontier { points }));
+                            }
+                        }
                         JobKind::Correction { .. } => {
                             unreachable!("correction jobs stream cubes")
                         }
@@ -922,6 +1189,61 @@ mod tests {
         assert!(sweep.check_weight(1).is_verified());
         assert_eq!(sweep.encode_count(), 1);
         assert_eq!(sweep.query_count(), 4);
+    }
+
+    #[test]
+    fn fault_tolerance_sweep_matches_fresh_solves() {
+        use crate::scenario::faulty_memory_scenario;
+        use crate::tasks::verify_fault_tolerance;
+        let scenario = faulty_memory_scenario(&steane(), ErrorModel::YErrors, 3);
+        let mut sweep = FaultToleranceSweep::new(&scenario, vec![], SolverConfig::default());
+        for td in 0..=1i64 {
+            for tm in 0..=1i64 {
+                let incremental = sweep.check(td, tm);
+                let fresh =
+                    verify_fault_tolerance(&scenario, td, tm, SolverConfig::default()).outcome;
+                assert_eq!(
+                    std::mem::discriminant(&incremental),
+                    std::mem::discriminant(&fresh),
+                    "(t_d={td}, t_m={tm}): {incremental:?} vs {fresh:?}"
+                );
+            }
+        }
+        assert_eq!(sweep.encode_count(), 1, "one base encoding for the grid");
+        assert_eq!(sweep.query_count(), 4);
+    }
+
+    #[test]
+    fn fault_tolerance_job_reports_the_textbook_frontier() {
+        use crate::scenario::faulty_memory_scenario;
+        let r1 = faulty_memory_scenario(&steane(), ErrorModel::YErrors, 1);
+        let r3 = faulty_memory_scenario(&steane(), ErrorModel::YErrors, 3);
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            solver: SolverConfig::default(),
+        });
+        let report = engine.run(vec![
+            Job::fault_tolerance("steane_r1", &r1, 1, 1),
+            Job::fault_tolerance("steane_r3", &r3, 1, 1),
+        ]);
+        let JobOutcome::Frontier(f1) = &report.jobs[0].outcome else {
+            panic!("{:?}", report.jobs[0].outcome);
+        };
+        let JobOutcome::Frontier(f3) = &report.jobs[1].outcome else {
+            panic!("{:?}", report.jobs[1].outcome);
+        };
+        // Single round: t_m = 1 only correctable when there is nothing to
+        // correct; three rounds: the full (1,1) grid point verifies.
+        assert_eq!(f1.correctable(1, 1), Some(false));
+        assert_eq!(f1.correctable(1, 0), Some(true));
+        assert_eq!(f1.correctable(0, 1), Some(true));
+        assert_eq!(f1.max_t_meas(1), Some(0));
+        assert_eq!(f3.correctable(1, 1), Some(true));
+        assert_eq!(f3.max_t_meas(1), Some(1));
+        let json = report.to_json();
+        assert!(json.contains("\"outcome\":\"frontier\""));
+        assert!(json.contains("{\"t_data\":1,\"t_meas\":1,\"correctable\":true}"));
+        assert!(report.to_markdown().contains("| steane_r3 | frontier |"));
     }
 
     #[test]

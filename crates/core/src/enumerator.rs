@@ -22,7 +22,7 @@
 //! baseline and the benchmark's contender).
 
 use veriqec_cexpr::{Affine, CMem, VarId, VarRole, VarTable};
-use veriqec_codes::StabilizerCode;
+use veriqec_codes::{ExtractionSchedule, StabilizerCode};
 use veriqec_dd::{compile_cnf_projected, Bdd, BddManager, CompileConfig, CompileError, DdStats};
 use veriqec_sat::{Lit, SolverConfig};
 use veriqec_smt::{CheckResult, SmtContext};
@@ -56,7 +56,9 @@ impl WeightEnumerator {
 #[derive(Clone, Debug)]
 pub struct FailureEnumerator {
     name: String,
-    n: usize,
+    /// Largest possible support weight (`n` for the perfect model, plus one
+    /// per measurement site under a noisy schedule).
+    max_weight: usize,
     manager: BddManager,
     root: Bdd,
     /// Variables surviving the projection (error components + indicators).
@@ -68,16 +70,38 @@ pub struct FailureEnumerator {
 }
 
 impl FailureEnumerator {
-    /// Encodes and compiles the counting formula for `code` once.
+    /// Encodes and compiles the counting formula for `code` once (the
+    /// perfect-measurement model).
     ///
     /// # Errors
     ///
     /// Propagates [`CompileError`] when the budget in `config` (node limit,
     /// stop flag) is exhausted mid-compilation.
     pub fn new(code: &StabilizerCode, config: &CompileConfig) -> Result<Self, CompileError> {
+        Self::with_schedule(
+            code,
+            &ExtractionSchedule::perfect(code.generators().len()),
+            config,
+        )
+    }
+
+    /// Like [`FailureEnumerator::new`], but under a (possibly noisy)
+    /// extraction schedule: undetected configurations are pairs `(e, m)`
+    /// whose *observed* syndromes vanish in every round, counted by total
+    /// weight `|supp(e)| + |m|`.
+    ///
+    /// # Errors
+    ///
+    /// See [`FailureEnumerator::new`].
+    pub fn with_schedule(
+        code: &StabilizerCode,
+        schedule: &ExtractionSchedule,
+        config: &CompileConfig,
+    ) -> Result<Self, CompileError> {
         // No weight constraint on top of the shared parts: stratification
         // happens in the diagram, not the encoding.
-        let DetectionParts { ctx, support, .. } = detection_parts(code, SolverConfig::default());
+        let DetectionParts { ctx, support, .. } =
+            detection_parts_with_schedule(code, schedule, SolverConfig::default());
         let cnf = ctx.export_cnf();
         // Keep the error components and the support indicators; everything
         // else (XOR chain links, flip parities, the constant) is determined
@@ -85,13 +109,13 @@ impl FailureEnumerator {
         let mut keep: Vec<usize> = ctx.var_map().map(|(_, l)| l.var().index()).collect();
         keep.extend(support.iter().map(|l| l.var().index()));
         let compiled = compile_cnf_projected(&cnf, &keep, config)?;
-        let indicators = support
+        let indicators: Vec<(usize, bool)> = support
             .iter()
             .map(|l| (l.var().index(), l.is_positive()))
             .collect();
         Ok(FailureEnumerator {
             name: code.name().to_string(),
-            n: code.n(),
+            max_weight: indicators.len(),
             manager: compiled.manager,
             root: compiled.root,
             counted: keep,
@@ -106,14 +130,14 @@ impl FailureEnumerator {
         &self.name
     }
 
-    /// Enumerator coefficients by support weight (`0..=n`), computed on
-    /// first call and cached.
+    /// Enumerator coefficients by support weight (`0..=max_weight`),
+    /// computed on first call and cached.
     pub fn coefficients(&mut self) -> &[u128] {
         if self.coefficients.is_none() {
             let w = self
                 .manager
                 .weight_count_over(self.root, &self.counted, &self.indicators);
-            debug_assert_eq!(w.len(), self.n + 1);
+            debug_assert_eq!(w.len(), self.max_weight + 1);
             self.coefficients = Some(w);
         }
         self.coefficients.as_deref().expect("just computed")
@@ -163,25 +187,52 @@ impl FailureEnumerator {
 /// One assembly site means the SAT and counting backends cannot drift apart
 /// on the encoding.
 pub(crate) struct DetectionParts {
-    /// The context holding syndrome-zero equations and the logical-flip
-    /// disjunction.
+    /// The context holding observed-syndrome-zero equations and the
+    /// logical-flip disjunction.
     pub ctx: SmtContext,
     /// Per-qubit X error components.
     pub ex: Vec<VarId>,
     /// Per-qubit Z error components.
     pub ez: Vec<VarId>,
-    /// Per-qubit support indicators (`ex_q ∨ ez_q`), interleaved with their
-    /// inputs in allocation order so diagram ordering heuristics inherit a
-    /// near-optimal seed.
+    /// Measurement-flip indicators per (round, generator) in round-major
+    /// order; empty for perfect schedules.
+    pub em: Vec<VarId>,
+    /// Support indicators: per-qubit (`ex_q ∨ ez_q`) followed by one
+    /// literal per measurement-flip indicator. The per-qubit indicators are
+    /// interleaved with their inputs in allocation order so diagram
+    /// ordering heuristics inherit a near-optimal seed.
     pub support: Vec<Lit>,
 }
 
-/// Assembles the detection formula for `code`: per-qubit error components
-/// with support indicators, all-syndromes-zero XOR equations, and the
-/// some-logical-flips disjunction. No weight constraint — each caller adds
-/// its own (totalizer assumptions, baked bound, or none for counting).
+/// Assembles the detection formula for `code` under the perfect
+/// single-round schedule (the paper's Eqn. 15).
 pub(crate) fn detection_parts(code: &StabilizerCode, config: SolverConfig) -> DetectionParts {
+    detection_parts_with_schedule(
+        code,
+        &ExtractionSchedule::perfect(code.generators().len()),
+        config,
+    )
+}
+
+/// Assembles the detection formula for `code` under an extraction
+/// schedule: per-qubit error components with support indicators, the
+/// *observed*-syndromes-all-zero XOR equations (`syn_i(e) ⊕ m_{i,j} = 0`
+/// per round `j`, with the flip term present only for noisy schedules),
+/// and the some-logical-flips disjunction. No weight constraint — each
+/// caller adds its own (totalizer assumptions, baked bound, or none for
+/// counting). This is the single assembly site shared by the SAT and
+/// decision-diagram backends, with or without measurement errors.
+pub(crate) fn detection_parts_with_schedule(
+    code: &StabilizerCode,
+    schedule: &ExtractionSchedule,
+    config: SolverConfig,
+) -> DetectionParts {
     let n = code.n();
+    assert_eq!(
+        schedule.num_checks(),
+        code.generators().len(),
+        "schedule must cover every generator"
+    );
     let mut vt = VarTable::new();
     let ex: Vec<VarId> = (0..n)
         .map(|q| vt.fresh_indexed("ex", q, VarRole::Error))
@@ -190,15 +241,18 @@ pub(crate) fn detection_parts(code: &StabilizerCode, config: SolverConfig) -> De
         .map(|q| vt.fresh_indexed("ez", q, VarRole::Error))
         .collect();
     let mut ctx = SmtContext::with_config(config);
-    let support: Vec<Lit> = (0..n)
+    let mut support: Vec<Lit> = (0..n)
         .map(|q| {
             let lx = ctx.lit_of(ex[q]);
             let lz = ctx.lit_of(ez[q]);
             ctx.reify_disj(&[lx, lz])
         })
         .collect();
-    // All syndromes zero: the error commutes with every generator.
-    for g in code.generators() {
+    // All *observed* syndromes zero in every round: the true syndrome of
+    // the error, XOR the round's flip, vanishes.
+    let mut em = Vec::new();
+    for site in schedule.sites() {
+        let g = &code.generators()[site.check];
         let mut aff = Affine::zero();
         for q in 0..n {
             if g.pauli().x_bit(q) {
@@ -207,6 +261,14 @@ pub(crate) fn detection_parts(code: &StabilizerCode, config: SolverConfig) -> De
             if g.pauli().z_bit(q) {
                 aff.xor_var(ex[q]);
             }
+        }
+        if site.noisy {
+            let m = vt.fresh(
+                &format!("m_r{}_{}", site.round, site.check),
+                VarRole::MeasError,
+            );
+            aff.xor_var(m);
+            em.push(m);
         }
         ctx.assert_affine_eq(&aff, false);
     }
@@ -225,10 +287,12 @@ pub(crate) fn detection_parts(code: &StabilizerCode, config: SolverConfig) -> De
         flips.push(ctx.reify_affine(&aff));
     }
     ctx.add_clause(flips);
+    support.extend(em.iter().map(|&m| ctx.lit_of(m)));
     DetectionParts {
         ctx,
         ex,
         ez,
+        em,
         support,
     }
 }
@@ -239,22 +303,40 @@ pub(crate) fn detection_parts(code: &StabilizerCode, config: SolverConfig) -> De
 /// exponential in the number of failures, which is why the diagram backend
 /// exists. Returns coefficients for weights `0..=max_weight`.
 pub fn sat_enumerator(code: &StabilizerCode, max_weight: usize) -> Vec<u128> {
+    sat_enumerator_with_schedule(
+        code,
+        &ExtractionSchedule::perfect(code.generators().len()),
+        max_weight,
+    )
+}
+
+/// The blocking-clause contender under an extraction schedule: enumerates
+/// undetected `(e, m)` configurations of total weight
+/// `|supp(e)| + |m| ≤ max_weight` one model at a time — the SAT half of the
+/// faulty-measurement backend-agreement suite.
+pub fn sat_enumerator_with_schedule(
+    code: &StabilizerCode,
+    schedule: &ExtractionSchedule,
+    max_weight: usize,
+) -> Vec<u128> {
     let n = code.n();
     let DetectionParts {
         mut ctx,
         ex,
         ez,
+        em,
         support,
-    } = detection_parts(code, SolverConfig::default());
+    } = detection_parts_with_schedule(code, schedule, SolverConfig::default());
     ctx.assert_at_most(&support, max_weight as i64);
     let mut coefficients = vec![0u128; max_weight + 1];
     while ctx.check(&[]) == CheckResult::Sat {
         let m = ctx.model();
         let weight = (0..n)
             .filter(|&q| m.get(ex[q]).as_bool() || m.get(ez[q]).as_bool())
-            .count();
+            .count()
+            + em.iter().filter(|&&v| m.get(v).as_bool()).count();
         coefficients[weight] += 1;
-        block_model(&mut ctx, &m, ex.iter().chain(&ez));
+        block_model(&mut ctx, &m, ex.iter().chain(&ez).chain(&em));
     }
     coefficients
 }
@@ -417,6 +499,118 @@ mod tests {
         let mut fe = FailureEnumerator::new(&code, &CompileConfig::default()).unwrap();
         let sat = sat_enumerator(&code, 4);
         assert_eq!(&fe.coefficients()[..5], sat.as_slice());
+    }
+
+    /// Truth-table reference under a noisy schedule: the flips masking an
+    /// error are *determined* (`m_{i,j} = syn_i(e)` in every round), so each
+    /// logical-flipping `e` contributes one configuration of total weight
+    /// `|supp(e)| + rounds·|syn(e)|`.
+    fn brute_force_faulty_enumerator(code: &StabilizerCode, rounds: usize) -> Vec<u128> {
+        let n = code.n();
+        assert!(2 * n <= 20, "brute force only for tiny codes");
+        let num_checks = code.generators().len();
+        let mut coefficients = vec![0u128; n + rounds * num_checks + 1];
+        for bits in 0u64..1 << (2 * n) {
+            let ex = |q: usize| (bits >> q) & 1 == 1;
+            let ez = |q: usize| (bits >> (n + q)) & 1 == 1;
+            let syndrome_weight = code
+                .generators()
+                .iter()
+                .filter(|g| {
+                    let mut parity = false;
+                    for q in 0..n {
+                        parity ^= g.pauli().x_bit(q) & ez(q);
+                        parity ^= g.pauli().z_bit(q) & ex(q);
+                    }
+                    parity
+                })
+                .count();
+            let flips_some_logical = code.logical_x().iter().chain(code.logical_z()).any(|l| {
+                let mut parity = false;
+                for q in 0..n {
+                    parity ^= l.pauli().x_bit(q) & ez(q);
+                    parity ^= l.pauli().z_bit(q) & ex(q);
+                }
+                parity
+            });
+            if flips_some_logical {
+                let weight = (0..n).filter(|&q| ex(q) || ez(q)).count() + rounds * syndrome_weight;
+                coefficients[weight] += 1;
+            }
+        }
+        coefficients
+    }
+
+    #[test]
+    fn faulty_enumerator_matches_truth_table() {
+        // The DD backend under noisy schedules vs the 4^n truth table:
+        // measurement flips let errors with nonzero syndrome hide, at a
+        // per-round weight price.
+        for code in [c4_422(), steane()] {
+            for rounds in [1, 2] {
+                let schedule = ExtractionSchedule::repeated(code.generators().len(), rounds);
+                let mut fe =
+                    FailureEnumerator::with_schedule(&code, &schedule, &CompileConfig::default())
+                        .unwrap();
+                assert_eq!(
+                    fe.coefficients(),
+                    brute_force_faulty_enumerator(&code, rounds).as_slice(),
+                    "{} rounds={rounds}",
+                    code.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_backends_agree_on_detection_verdicts() {
+        // The ISSUE's regression: the shared assembly with measurement-error
+        // indicators must yield identical detection verdicts from the SAT
+        // session and the DD counting backend, at every threshold.
+        use crate::engine::DetectionSession;
+        use crate::tasks::DetectionOutcome;
+        for code in [c4_422(), five_qubit(), steane()] {
+            for rounds in [1, 2, 3] {
+                let schedule = ExtractionSchedule::repeated(code.generators().len(), rounds);
+                let mut fe =
+                    FailureEnumerator::with_schedule(&code, &schedule, &CompileConfig::default())
+                        .unwrap();
+                let coefficients = fe.coefficients().to_vec();
+                let mut session =
+                    DetectionSession::with_schedule(&code, &schedule, SolverConfig::default());
+                let max_dt = fe.min_nonzero_weight().expect("failures exist") + 2;
+                for dt in 2..=max_dt {
+                    let sat_says = session.check(dt);
+                    let dd_says_all_detected = coefficients[1..dt.min(coefficients.len())]
+                        .iter()
+                        .all(|&c| c == 0);
+                    match (&sat_says, dd_says_all_detected) {
+                        (DetectionOutcome::AllDetected, true)
+                        | (DetectionOutcome::UndetectedLogical { .. }, false) => {}
+                        other => panic!(
+                            "{} rounds={rounds} dt={dt}: SAT and DD disagree: {other:?}",
+                            code.name()
+                        ),
+                    }
+                }
+                assert_eq!(session.encode_count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_enumerator_matches_blocking_clause_sat() {
+        // Coefficient-level agreement between the two backends on the
+        // truncated range the SAT loop can afford.
+        let code = c4_422();
+        for rounds in [1, 2] {
+            let schedule = ExtractionSchedule::repeated(code.generators().len(), rounds);
+            let mut fe =
+                FailureEnumerator::with_schedule(&code, &schedule, &CompileConfig::default())
+                    .unwrap();
+            let sat = sat_enumerator_with_schedule(&code, &schedule, 4);
+            assert_eq!(&fe.coefficients()[..5], sat.as_slice(), "rounds={rounds}");
+        }
     }
 
     #[test]

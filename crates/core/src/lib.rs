@@ -14,7 +14,14 @@
 //! pool); [`enumerator`] goes beyond the paper's SAT queries to *counting* —
 //! exact failure weight enumerators through the decision-diagram backend
 //! (`veriqec_dd`); [`sampling`] provides the simulation/testing baseline of
-//! the §7.2 comparison.
+//! the §7.2 comparison. Beyond the paper's perfect-measurement model, the
+//! whole stack also carries **measurement noise**: multi-round syndrome
+//! extraction with flip-annotated readouts
+//! ([`scenario::faulty_memory_scenario`]), split (data, measurement) error
+//! budgets ([`tasks::build_problem_split`]), incremental (t_d, t_m)
+//! frontier sweeps ([`engine::FaultToleranceSweep`]) and the mirrored
+//! noise process in the Pauli-frame sampler
+//! ([`sampling::faulty_memory_frame`]).
 //!
 //! # Examples
 //!
@@ -39,19 +46,25 @@ pub mod scenario;
 pub mod tasks;
 
 pub use engine::{
-    BatchReport, CorrectionSweep, DetectionSession, Engine, EngineConfig, Job, JobKind, JobOutcome,
-    JobReport,
+    BatchReport, CorrectionSweep, DetectionSession, Engine, EngineConfig, FaultToleranceFrontier,
+    FaultToleranceSweep, FrontierPoint, Job, JobKind, JobOutcome, JobReport,
 };
-pub use enumerator::{sat_enumerator, FailureEnumerator, WeightEnumerator};
+pub use enumerator::{
+    sat_enumerator, sat_enumerator_with_schedule, FailureEnumerator, WeightEnumerator,
+};
 pub use parallel::{check_parallel, ParallelConfig, ParallelReport, SplitConfig, SubtaskIter};
+pub use sampling::{
+    exhaustive_frame_check, faulty_memory_frame, prepare_codeword_state, sample_scenario,
+    subsets_up_to, FaultyMemoryFrame, SamplingReport,
+};
 pub use scenario::{
-    cnot_propagation_scenario, correction_fault_scenario, ghz_scenario, logical_h_scenario,
-    memory_scenario, multi_cycle_scenario, nonpauli_scenario, ErrorModel, Scenario,
-    ScenarioBuilder,
+    cnot_propagation_scenario, correction_fault_scenario, faulty_memory_scenario, ghz_scenario,
+    logical_h_scenario, memory_scenario, multi_cycle_scenario, nonpauli_scenario, ErrorModel,
+    Scenario, ScenarioBuilder,
 };
 pub use tasks::{
-    build_problem, build_problem_unbounded, discreteness_constraint, find_distance,
-    locality_constraint, verify_code_memory, verify_constrained, verify_correction,
-    verify_detection, verify_nonpauli_memory, DetectionOutcome, DistanceOutcome,
-    VerificationReport,
+    build_problem, build_problem_split, build_problem_unbounded, discreteness_constraint,
+    find_distance, locality_constraint, verify_code_memory, verify_constrained, verify_correction,
+    verify_detection, verify_fault_tolerance, verify_nonpauli_memory, DetectionOutcome,
+    DistanceOutcome, VerificationReport,
 };

@@ -10,10 +10,12 @@
 use rand::prelude::*;
 
 use veriqec_cexpr::{CMem, Value};
+use veriqec_codes::{ExtractionSchedule, StabilizerCode};
+use veriqec_pauli::PauliString;
 use veriqec_prog::{run_tableau, DecoderOracle};
-use veriqec_qsim::Tableau;
+use veriqec_qsim::{FrameCircuit, Tableau};
 
-use crate::scenario::Scenario;
+use crate::scenario::{ErrorModel, Scenario};
 
 /// Outcome of a sampling campaign.
 #[derive(Clone, Debug)]
@@ -54,7 +56,7 @@ pub fn sample_scenario<O: DecoderOracle, R: Rng>(
         }
         // Params b_i = 0 (the |0…0⟩_L family member).
         // Prepare the codeword: stabilizer state of the LHS generating set.
-        let mut tab = prepare_stabilizer_state(scenario, rng);
+        let mut tab = prepare_codeword_state(scenario, &CMem::new(), rng);
         let mut coin = || rng_coin(rng);
         run_tableau(&scenario.program, &mut mem, &mut tab, oracle, &mut coin);
         // Check: all post conjuncts (at params = 0, with measured syndrome
@@ -79,15 +81,18 @@ fn rng_coin<R: Rng>(rng: &mut R) -> bool {
     rng.gen()
 }
 
-/// Prepares a stabilizer state of the scenario's LHS generating set (at
-/// parameter values 0) by measuring each generator and, on a −1 outcome,
-/// applying that generator's exact *destabilizer* — a Pauli anticommuting
-/// with it and commuting with every other LHS element, found by solving the
-/// symplectic system `⟨v, lhs_j⟩ = δ_ij` over GF(2).
-fn prepare_stabilizer_state<R: Rng>(scenario: &Scenario, rng: &mut R) -> Tableau {
+/// Prepares a stabilizer state of the scenario's LHS generating set — at
+/// the parameter values carried in `params` (unset parameters read as 0) —
+/// by measuring each generator and, on a −1 outcome, applying that
+/// generator's exact *destabilizer*: a Pauli anticommuting with it and
+/// commuting with every other LHS element, found by solving the symplectic
+/// system `⟨v, lhs_j⟩ = δ_ij` over GF(2). Counterexample replays pass the
+/// model's parameter assignment so the prepared codeword matches the
+/// violated family member.
+pub fn prepare_codeword_state<R: Rng>(scenario: &Scenario, params: &CMem, rng: &mut R) -> Tableau {
     use veriqec_gf2::{BitMatrix, BitVec};
     let n = scenario.num_qubits;
-    let m = CMem::new(); // params default to 0
+    let m = params;
 
     // Symplectic matrix with swapped halves: row_j · v = ⟨lhs_j, v⟩.
     let swapped = BitMatrix::from_rows(
@@ -114,7 +119,7 @@ fn prepare_stabilizer_state<R: Rng>(scenario: &Scenario, rng: &mut R) -> Tableau
         .collect();
     let mut tab = Tableau::zero_state(n);
     for (g, destab) in scenario.lhs.iter().zip(&destabilizers) {
-        let target = g.eval(&m);
+        let target = g.eval(m);
         let outcome = tab.measure_pauli(&target, || rng.gen());
         if outcome {
             debug_assert!(destab.anticommutes_with(&target));
@@ -122,6 +127,169 @@ fn prepare_stabilizer_state<R: Rng>(scenario: &Scenario, rng: &mut R) -> Tableau
         }
     }
     tab
+}
+
+/// A faulty-measurement memory protocol compiled for the Pauli-frame
+/// sampler: the *same* noise process as
+/// [`crate::scenario::faulty_memory_scenario`] — per-qubit data-error sites
+/// in [`ErrorModel`] order, then one noisy measurement per schedule site in
+/// round-major order — so an error vector for this circuit is
+/// `scenario.error_vars` followed by `scenario.meas_error_vars`, index for
+/// index.
+#[derive(Clone, Debug)]
+pub struct FaultyMemoryFrame {
+    /// The compiled frame circuit.
+    pub circuit: FrameCircuit,
+    /// The Pauli applied by each data-error site, in site order (the
+    /// single source of truth for residue reconstruction).
+    pub data_site_paulis: Vec<PauliString>,
+    /// Error-vector suffix length holding the measurement-flip sites.
+    pub num_meas_sites: usize,
+}
+
+impl FaultyMemoryFrame {
+    /// Error-vector prefix length holding the data-error sites.
+    pub fn num_data_sites(&self) -> usize {
+        self.data_site_paulis.len()
+    }
+}
+
+/// Compiles the faulty-measurement memory protocol of a code into a frame
+/// circuit (see [`FaultyMemoryFrame`] for the site layout). The reference
+/// outcomes are all 0: the noiseless run measures stabilizers of the
+/// codeword.
+pub fn faulty_memory_frame(
+    code: &StabilizerCode,
+    model: ErrorModel,
+    schedule: &ExtractionSchedule,
+) -> FaultyMemoryFrame {
+    let n = code.n();
+    let mut circuit = FrameCircuit::new(n);
+    let mut data_site_paulis = Vec::new();
+    for (gate, _) in model.gates() {
+        for q in 0..n {
+            let letter = match gate {
+                veriqec_pauli::Gate1::X => 'X',
+                veriqec_pauli::Gate1::Z => 'Z',
+                _ => 'Y',
+            };
+            let p = PauliString::single(n, letter, q);
+            circuit.error_site(p.clone());
+            data_site_paulis.push(p);
+        }
+    }
+    let num_data_sites = circuit.num_error_sites();
+    for site in schedule.sites() {
+        let op = code.generators()[site.check].pauli().clone();
+        if site.noisy {
+            circuit.measure_noisy(op, false);
+        } else {
+            circuit.measure(op, false);
+        }
+    }
+    let num_meas_sites = circuit.num_error_sites() - num_data_sites;
+    FaultyMemoryFrame {
+        circuit,
+        data_site_paulis,
+        num_meas_sites,
+    }
+}
+
+/// Exhaustively validates a faulty-measurement protocol with the fast
+/// frame sampler: every configuration of `≤ t_data` data errors and
+/// `≤ t_meas` measurement flips is sampled, decoded with the exact
+/// budget-aware space-time decoder per CSS sector, and the residual error
+/// checked for stabilizer-ness. Returns the first failing configuration as
+/// `(data site indices, measurement site indices)`, or `None` when every
+/// in-budget configuration recovers.
+///
+/// This is the sampling-side mirror of the symbolic fault-tolerance
+/// verdict: a `Verified` grid point implies `None` here (the concrete
+/// decoder is a member of the quantified class), while a frame-found
+/// failure at a point refutes correctability constructively.
+///
+/// # Panics
+///
+/// Panics when the code is not CSS.
+pub fn exhaustive_frame_check(
+    code: &StabilizerCode,
+    model: ErrorModel,
+    rounds: usize,
+    t_data: usize,
+    t_meas: usize,
+) -> Option<(Vec<usize>, Vec<usize>)> {
+    let n = code.n();
+    let num_checks = code.generators().len();
+    let schedule = ExtractionSchedule::repeated(num_checks, rounds);
+    let frame = faulty_memory_frame(code, model, &schedule);
+    let hx = code.css_hx().expect("CSS code required");
+    let hz = code.css_hz().expect("CSS code required");
+    let (x_idx, z_idx) = code.css_split().expect("CSS");
+    let x_decoder = veriqec_decoder::SpaceTimeDecoder::new(hz, rounds);
+    let z_decoder = veriqec_decoder::SpaceTimeDecoder::new(hx, rounds);
+    let mut errors = vec![false; frame.circuit.num_error_sites()];
+    for data in subsets_up_to(frame.num_data_sites(), t_data) {
+        for meas in subsets_up_to(frame.num_meas_sites, t_meas) {
+            errors.iter_mut().for_each(|b| *b = false);
+            for &i in &data {
+                errors[i] = true;
+            }
+            for &j in &meas {
+                errors[frame.num_data_sites() + j] = true;
+            }
+            let history = frame.circuit.sample(&errors);
+            // Split the round-major history into per-sector histories.
+            let pick = |idx: &[usize]| -> Vec<bool> {
+                let mut v = Vec::with_capacity(rounds * idx.len());
+                for r in 0..rounds {
+                    for &i in idx {
+                        v.push(history[r * num_checks + i]);
+                    }
+                }
+                v
+            };
+            let (cz, _) = z_decoder.decode_bounded(&pick(&x_idx), t_data, t_meas);
+            let (cx, _) = x_decoder.decode_bounded(&pick(&z_idx), t_data, t_meas);
+            // Residue = injected error × applied correction, with the
+            // frame's own site layout as the source of truth.
+            let mut residue = PauliString::identity(n);
+            for &i in &data {
+                residue = residue.mul(&frame.data_site_paulis[i]);
+            }
+            for q in cx.iter_ones() {
+                residue = residue.mul(&PauliString::single(n, 'X', q));
+            }
+            for q in cz.iter_ones() {
+                residue = residue.mul(&PauliString::single(n, 'Z', q));
+            }
+            if code.group().decompose(&residue).is_none() {
+                return Some((data, meas));
+            }
+        }
+    }
+    None
+}
+
+/// All subsets of `{0..n}` of size at most `t`, smallest first — the
+/// in-budget configuration enumerator shared by [`exhaustive_frame_check`]
+/// and the end-to-end differential tests.
+pub fn subsets_up_to(n: usize, t: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![vec![]];
+    let mut frontier: Vec<Vec<usize>> = vec![vec![]];
+    for _ in 0..t.min(n) {
+        let mut next = Vec::new();
+        for s in &frontier {
+            let start = s.last().map_or(0, |&x| x + 1);
+            for i in start..n {
+                let mut grown = s.clone();
+                grown.push(i);
+                next.push(grown);
+            }
+        }
+        out.extend(next.iter().cloned());
+        frontier = next;
+    }
+    out
 }
 
 /// `log2` of the number of error configurations of weight exactly ≤ `t` over
@@ -167,6 +335,33 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let report = sample_scenario(&scenario, 1, 200, &oracle, &mut rng);
         assert_eq!(report.failures, 0, "single Y errors must always correct");
+    }
+
+    #[test]
+    fn frame_check_mirrors_the_symbolic_frontier() {
+        // The sampling-side view of the textbook result: single-round
+        // extraction has a concrete in-budget failure at (1, 1); three
+        // rounds recover every in-budget configuration.
+        let code = steane();
+        let failure = exhaustive_frame_check(&code, ErrorModel::YErrors, 1, 1, 1);
+        let (data, meas) = failure.expect("single round must fail at (1,1)");
+        assert!(data.len() <= 1 && meas.len() <= 1);
+        assert!(
+            exhaustive_frame_check(&code, ErrorModel::YErrors, 3, 1, 1).is_none(),
+            "three rounds recover every (1,1) configuration"
+        );
+        // Degenerate budgets recover even in one round.
+        assert!(exhaustive_frame_check(&code, ErrorModel::YErrors, 1, 1, 0).is_none());
+        assert!(exhaustive_frame_check(&code, ErrorModel::YErrors, 1, 0, 1).is_none());
+    }
+
+    #[test]
+    fn subsets_enumeration_is_complete() {
+        let subs = subsets_up_to(4, 2);
+        assert_eq!(subs.len(), 1 + 4 + 6);
+        assert!(subs.iter().all(|s| s.len() <= 2));
+        let unique: std::collections::HashSet<_> = subs.iter().collect();
+        assert_eq!(unique.len(), subs.len());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! variables for `P_c`, and the decoder wiring for `P_f`.
 
 use veriqec_cexpr::{BExp, VarId, VarRole, VarTable};
-use veriqec_codes::StabilizerCode;
+use veriqec_codes::{ExtractionSchedule, StabilizerCode};
 use veriqec_gf2::BitVec;
 use veriqec_logic::QecAssertion;
 use veriqec_pauli::{conj1, conj2, ExtPauli, Gate1, Gate2, PauliString, SymPauli};
@@ -29,7 +29,7 @@ pub enum ErrorModel {
 
 impl ErrorModel {
     /// Gates injected per qubit, with a variable-family tag.
-    fn gates(self) -> &'static [(Gate1, &'static str)] {
+    pub(crate) fn gates(self) -> &'static [(Gate1, &'static str)] {
         match self {
             ErrorModel::XErrors => &[(Gate1::X, "ex")],
             ErrorModel::ZErrors => &[(Gate1::Z, "ez")],
@@ -44,10 +44,18 @@ impl ErrorModel {
 pub struct DecoderWiring {
     /// One row per syndrome: the correction variables that flip it.
     pub checks: Vec<Vec<VarId>>,
-    /// Syndrome variables (inputs of the call).
+    /// Syndrome variables (inputs of the call). For multi-round extraction
+    /// these are the full round-major history this decoder consumes.
     pub syndromes: Vec<VarId>,
     /// Correction variables (outputs of the call).
     pub corrections: Vec<VarId>,
+    /// Claimed measurement-flip variables (decoder outputs), parallel to
+    /// `syndromes`; empty under perfect measurement.
+    pub flips: Vec<VarId>,
+    /// Measurement-error indicators of this decoder's sites, for the
+    /// right-hand side of the `P_f` weight comparison; empty under perfect
+    /// measurement.
+    pub meas_errors: Vec<VarId>,
 }
 
 /// A fully assembled verification scenario.
@@ -67,6 +75,9 @@ pub struct Scenario {
     pub post: QecAssertion,
     /// Error indicators constrained by `P_c` (includes propagation vars).
     pub error_vars: Vec<VarId>,
+    /// Measurement-flip indicators, constrained by the separate
+    /// measurement-error budget `Σm ≤ t_m`; empty under perfect measurement.
+    pub meas_error_vars: Vec<VarId>,
     /// Decoder wirings for `P_f`.
     pub decoders: Vec<DecoderWiring>,
     /// Specification parameters (logical phases `b_i`).
@@ -80,6 +91,7 @@ pub struct ScenarioBuilder {
     vt: VarTable,
     stmts: Vec<Stmt>,
     error_vars: Vec<VarId>,
+    meas_error_vars: Vec<VarId>,
     decoders: Vec<DecoderWiring>,
     /// Current logical operators per block (conjugated forward through
     /// logical gates as they are emitted).
@@ -105,6 +117,7 @@ impl ScenarioBuilder {
             vt: VarTable::new(),
             stmts: Vec::new(),
             error_vars: Vec::new(),
+            meas_error_vars: Vec::new(),
             decoders: Vec::new(),
             logical_x,
             logical_z,
@@ -254,6 +267,8 @@ impl ScenarioBuilder {
                         .collect(),
                     syndromes: sx,
                     corrections: cz.clone(),
+                    flips: vec![],
+                    meas_errors: vec![],
                 });
                 self.decoders.push(DecoderWiring {
                     checks: hz
@@ -262,6 +277,8 @@ impl ScenarioBuilder {
                         .collect(),
                     syndromes: sz,
                     corrections: cx.clone(),
+                    flips: vec![],
+                    meas_errors: vec![],
                 });
                 self.emit_corrections(base, &cx, Gate1::X, faulty_corrections, cyc, block);
                 self.emit_corrections(base, &cz, Gate1::Z, faulty_corrections, cyc, block);
@@ -310,11 +327,151 @@ impl ScenarioBuilder {
                     checks,
                     syndromes: s_vars.clone(),
                     corrections: outputs,
+                    flips: vec![],
+                    meas_errors: vec![],
                 });
                 self.emit_corrections(base, &cx, Gate1::X, faulty_corrections, cyc, block);
                 self.emit_corrections(base, &cz, Gate1::Z, faulty_corrections, cyc, block);
             }
         }
+    }
+
+    /// Emits a multi-round syndrome-extraction + decode + correct gadget on
+    /// a block, following `schedule`: each round measures every generator —
+    /// with a fresh measurement-flip indicator per site when the schedule is
+    /// noisy (`s := meas[g] ^ m`) — then one decoder call per CSS sector
+    /// consumes the full round-major syndrome history, outputting its
+    /// corrections *and* its claimed flips (the space-time explanation of
+    /// the record), and the corrections are applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the code is not CSS or the schedule's check count does
+    /// not match the generator count.
+    pub fn syndrome_extraction(&mut self, block: usize, schedule: &ExtractionSchedule) {
+        self.cycle += 1;
+        let cyc = self.cycle;
+        let n = self.num_qubits();
+        let base = block * self.code.n();
+        let gens: Vec<SymPauli> = self
+            .code
+            .generators()
+            .iter()
+            .map(|g| embed_block(g, block, self.code.n(), n))
+            .collect();
+        assert_eq!(
+            schedule.num_checks(),
+            gens.len(),
+            "schedule must cover every generator"
+        );
+        let (x_idx, z_idx) = self
+            .code
+            .css_split()
+            .expect("syndrome extraction requires a CSS code");
+        // Measure: rounds × generators, with per-site flip indicators.
+        let mut s_vars: Vec<VarId> = Vec::with_capacity(schedule.num_sites());
+        let mut m_vars: Vec<Option<VarId>> = Vec::with_capacity(schedule.num_sites());
+        for site in schedule.sites() {
+            let s = self.vt.fresh(
+                &format!("s{cyc}b{block}r{}_{}", site.round, site.check),
+                VarRole::Syndrome,
+            );
+            s_vars.push(s);
+            if site.noisy {
+                let m = self.vt.fresh(
+                    &format!("m{cyc}b{block}r{}_{}", site.round, site.check),
+                    VarRole::MeasError,
+                );
+                self.meas_error_vars.push(m);
+                m_vars.push(Some(m));
+                self.stmts
+                    .push(Stmt::MeasFlip(s, gens[site.check].clone(), m));
+            } else {
+                m_vars.push(None);
+                self.stmts.push(Stmt::Meas(s, gens[site.check].clone()));
+            }
+        }
+        // One space-time decoder call per CSS sector over the full history.
+        let hx = self.code.css_hx().expect("CSS");
+        let hz = self.code.css_hz().expect("CSS");
+        let cz = self.extraction_decode(
+            &hx,
+            &x_idx,
+            schedule,
+            &s_vars,
+            &m_vars,
+            "decode_z",
+            &format!("cz{cyc}b{block}"),
+            &format!("fz{cyc}b{block}"),
+        );
+        let cx = self.extraction_decode(
+            &hz,
+            &z_idx,
+            schedule,
+            &s_vars,
+            &m_vars,
+            "decode_x",
+            &format!("cx{cyc}b{block}"),
+            &format!("fx{cyc}b{block}"),
+        );
+        self.emit_corrections(base, &cx, Gate1::X, false, cyc, block);
+        self.emit_corrections(base, &cz, Gate1::Z, false, cyc, block);
+    }
+
+    /// One CSS sector of a multi-round extraction: allocates the correction
+    /// and claimed-flip variables, emits the decoder call over the sector's
+    /// round-major syndrome history, and records the wiring for `P_f`.
+    #[allow(clippy::too_many_arguments)]
+    fn extraction_decode(
+        &mut self,
+        checks: &veriqec_gf2::BitMatrix,
+        idx: &[usize],
+        schedule: &ExtractionSchedule,
+        s_vars: &[VarId],
+        m_vars: &[Option<VarId>],
+        decoder_name: &str,
+        corr_prefix: &str,
+        flip_prefix: &str,
+    ) -> Vec<VarId> {
+        let corrections: Vec<VarId> = (0..self.code.n())
+            .map(|q| {
+                self.vt
+                    .fresh(&format!("{corr_prefix}_{q}"), VarRole::Correction)
+            })
+            .collect();
+        let mut syndromes = Vec::new();
+        let mut flips = Vec::new();
+        let mut meas_errors = Vec::new();
+        let mut check_rows = Vec::new();
+        for round in 0..schedule.rounds() {
+            for (k, &i) in idx.iter().enumerate() {
+                let site = schedule.history_index(round, i);
+                syndromes.push(s_vars[site]);
+                if let Some(m) = m_vars[site] {
+                    meas_errors.push(m);
+                    flips.push(
+                        self.vt
+                            .fresh(&format!("{flip_prefix}r{round}_{k}"), VarRole::Correction),
+                    );
+                }
+                check_rows.push(checks.row(k).iter_ones().map(|q| corrections[q]).collect());
+            }
+        }
+        let mut outputs = corrections.clone();
+        outputs.extend(flips.iter().copied());
+        self.stmts.push(Stmt::Decode(DecodeCall {
+            name: decoder_name.into(),
+            outputs,
+            inputs: syndromes.clone(),
+        }));
+        self.decoders.push(DecoderWiring {
+            checks: check_rows,
+            syndromes,
+            corrections: corrections.clone(),
+            flips,
+            meas_errors,
+        });
+        corrections
     }
 
     fn emit_corrections(
@@ -391,6 +548,7 @@ impl ScenarioBuilder {
             lhs,
             post: QecAssertion::from_conjuncts(n, post_conjuncts),
             error_vars: self.error_vars,
+            meas_error_vars: self.meas_error_vars,
             decoders: self.decoders,
             params,
         }
@@ -499,6 +657,29 @@ pub fn cnot_propagation_scenario(code: &StabilizerCode, model: ErrorModel) -> Sc
     )
 }
 
+/// Faulty-measurement memory: errors injected once, then `rounds` rounds of
+/// syndrome extraction in which every readout may flip
+/// (`s := meas[g] ^ m`), one space-time decode per CSS sector over the full
+/// history, corrections, and the usual exact-restoration postcondition. The
+/// correctness formula is checked under the *split* budget
+/// `Σe ≤ t_d ∧ Σm ≤ t_m` (see `veriqec::tasks::build_problem_split`).
+///
+/// # Panics
+///
+/// Panics when the code is not CSS.
+pub fn faulty_memory_scenario(code: &StabilizerCode, model: ErrorModel, rounds: usize) -> Scenario {
+    let mut b = ScenarioBuilder::new(code, 1);
+    b.inject_errors(model, "");
+    b.syndrome_extraction(
+        0,
+        &ExtractionSchedule::repeated(code.generators().len(), rounds),
+    );
+    b.finish(
+        format!("{} {rounds}-round faulty-measurement memory", code.name()),
+        false,
+    )
+}
+
 /// A memory scenario with one *fixed* non-Pauli error (`T` or `H`) injected
 /// on `qubit` before the correction round. Used by the case-3 pipeline.
 pub fn nonpauli_scenario(code: &StabilizerCode, gate: Gate1, qubit: usize) -> Scenario {
@@ -539,6 +720,33 @@ mod tests {
         assert!(pre_logical.pauli().z_bits().is_zero());
         let post_logical = s.post.conjuncts[6].as_single().unwrap();
         assert!(post_logical.pauli().x_bits().is_zero());
+    }
+
+    #[test]
+    fn faulty_memory_scenario_shape() {
+        let s = faulty_memory_scenario(&steane(), ErrorModel::YErrors, 3);
+        assert_eq!(s.num_qubits, 7);
+        assert_eq!(s.error_vars.len(), 7);
+        assert_eq!(s.meas_error_vars.len(), 6 * 3, "one flip per site");
+        // 7 injections + 18 faulty measurements + 2 decodes + 14 corrections.
+        assert_eq!(s.program.flatten().len(), 7 + 18 + 2 + 14);
+        // Each sector decoder consumes the full 3-round history of its
+        // checks and claims one flip per site.
+        assert_eq!(s.decoders.len(), 2);
+        for w in &s.decoders {
+            assert_eq!(w.syndromes.len(), 9);
+            assert_eq!(w.flips.len(), 9);
+            assert_eq!(w.meas_errors.len(), 9);
+            assert_eq!(w.checks.len(), 9);
+        }
+        // The program uses the flip-annotated measurement statement.
+        let flips = s
+            .program
+            .flatten()
+            .iter()
+            .filter(|st| matches!(st, veriqec_prog::Stmt::MeasFlip(..)))
+            .count();
+        assert_eq!(flips, 18);
     }
 
     #[test]

@@ -77,12 +77,80 @@ pub fn build_problem_unbounded(scenario: &Scenario, extra_constraints: Vec<BExp>
             syndromes: w.syndromes.clone(),
             corrections: w.corrections.clone(),
             errors: scenario.error_vars.clone(),
+            flips: w.flips.clone(),
+            meas_errors: w.meas_errors.clone(),
         })
         .collect();
     VcProblem {
         vc,
         error_constraints,
         decoder_specs,
+    }
+}
+
+/// Builds the [`VcProblem`] for a faulty-measurement scenario under the
+/// *split* error budget: data-error weight `Σe ≤ t_data` and
+/// measurement-flip weight `Σm ≤ t_meas` as two separate constraints (the
+/// incremental form — all budgets as assumptions on shared cardinality
+/// handles — is [`crate::engine::FaultToleranceSweep`]).
+///
+/// The split budget applies on both sides of the game: the *adversary's*
+/// errors are bounded, and every faulty decoder's *claimed* explanation is
+/// bounded by the same promise (`Σ c ≤ t_data`, `Σ f ≤ t_meas` per decoder
+/// call). The claim bounds are what make repeated extraction decodable —
+/// without them a history like `[0, s, s]` (a flip masking a real error in
+/// round 1) ties with an all-flips explanation and even `r = 3` rounds
+/// would admit a non-correcting minimal decoder.
+///
+/// # Panics
+///
+/// See [`build_problem_unbounded`].
+pub fn build_problem_split(
+    scenario: &Scenario,
+    t_data: i64,
+    t_meas: i64,
+    extra_constraints: Vec<BExp>,
+) -> VcProblem {
+    let mut problem = build_problem_unbounded(scenario, extra_constraints);
+    problem.error_constraints.insert(
+        0,
+        BExp::weight_le(scenario.error_vars.iter().copied(), t_data),
+    );
+    problem.error_constraints.insert(
+        1,
+        BExp::weight_le(scenario.meas_error_vars.iter().copied(), t_meas),
+    );
+    for spec in &problem.decoder_specs {
+        if !spec.flips.is_empty() {
+            problem
+                .error_constraints
+                .push(BExp::weight_le(spec.corrections.iter().copied(), t_data));
+            problem
+                .error_constraints
+                .push(BExp::weight_le(spec.flips.iter().copied(), t_meas));
+        }
+    }
+    problem
+}
+
+/// Fault-tolerance verification at one grid point: is every configuration
+/// of `≤ t_data` data errors *and* `≤ t_meas` measurement flips corrected?
+pub fn verify_fault_tolerance(
+    scenario: &Scenario,
+    t_data: i64,
+    t_meas: i64,
+    config: SolverConfig,
+) -> VerificationReport {
+    let start = Instant::now();
+    let problem = build_problem_split(scenario, t_data, t_meas, vec![]);
+    let (outcome, stats) = problem.check_with_config(config);
+    VerificationReport {
+        name: format!("{} (t_d={t_data}, t_m={t_meas})", scenario.name),
+        outcome,
+        wall_time: start.elapsed(),
+        sat_vars: stats.sat_vars,
+        clauses: stats.clauses,
+        conflicts: stats.conflicts,
     }
 }
 
@@ -319,6 +387,39 @@ mod tests {
             3
         );
         assert_eq!(find_distance(&code, 4), DistanceOutcome::Exact(3));
+    }
+
+    #[test]
+    fn faulty_measurement_needs_repeated_extraction() {
+        use crate::scenario::faulty_memory_scenario;
+        let code = steane();
+        // Single round: one readout flip can mask or fake a syndrome, so
+        // (t_d, t_m) = (1, 1) must fail…
+        let r1 = faulty_memory_scenario(&code, ErrorModel::YErrors, 1);
+        let out = verify_fault_tolerance(&r1, 1, 1, SolverConfig::default());
+        assert!(
+            matches!(out.outcome, VcOutcome::CounterExample(_)),
+            "single-round extraction cannot be (1,1)-correctable: {:?}",
+            out.outcome
+        );
+        // …while the degenerate budgets still verify: t_m = 0 is the
+        // perfect-measurement model, t_d = 0 means nothing needs correcting.
+        assert!(verify_fault_tolerance(&r1, 1, 0, SolverConfig::default())
+            .outcome
+            .is_verified());
+        assert!(verify_fault_tolerance(&r1, 0, 1, SolverConfig::default())
+            .outcome
+            .is_verified());
+        // Three rounds out-vote a single flip: (1, 1) verifies.
+        let r3 = faulty_memory_scenario(&code, ErrorModel::YErrors, 3);
+        let out = verify_fault_tolerance(&r3, 1, 1, SolverConfig::default());
+        assert!(out.outcome.is_verified(), "{:?}", out.outcome);
+        // Two rounds are not enough: [0, s] stays ambiguous.
+        let r2 = faulty_memory_scenario(&code, ErrorModel::YErrors, 2);
+        assert!(matches!(
+            verify_fault_tolerance(&r2, 1, 1, SolverConfig::default()).outcome,
+            VcOutcome::CounterExample(_)
+        ));
     }
 
     #[test]

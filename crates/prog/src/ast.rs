@@ -37,6 +37,12 @@ pub enum Stmt {
     Assign(VarId, BExp),
     /// `x := meas[P]` — projective Pauli measurement.
     Meas(VarId, SymPauli),
+    /// `x := meas[P] ^ m` — faulty projective measurement: the recorded
+    /// outcome is the true outcome XOR the flip indicator `m` (a fresh
+    /// symbolic measurement-error variable per measurement site). The
+    /// post-measurement *state* is the same as for [`Stmt::Meas`]; only the
+    /// classical record is corrupted.
+    MeasFlip(VarId, SymPauli, VarId),
     /// Decoder call.
     Decode(DecodeCall),
     /// `if b then S1 else S0 end`.
@@ -126,6 +132,9 @@ impl Stmt {
             Stmt::CondGate1(b, g, q) => writeln!(f, "{pad}[{}] q[{q}] *= {g}", bexp(b)),
             Stmt::Assign(x, e) => writeln!(f, "{pad}{} := {}", name(x), bexp(e)),
             Stmt::Meas(x, p) => writeln!(f, "{pad}{} := meas[{p}]", name(x)),
+            Stmt::MeasFlip(x, p, m) => {
+                writeln!(f, "{pad}{} := meas[{p}] ^ {}", name(x), name(m))
+            }
             Stmt::Decode(d) => {
                 let outs: Vec<String> = d.outputs.iter().map(&name).collect();
                 let ins: Vec<String> = d.inputs.iter().map(&name).collect();
@@ -232,5 +241,22 @@ mod tests {
         let txt = prog.pretty();
         assert!(txt.contains("[e_0] q[0] *= X"));
         assert!(txt.contains("s_0 := meas[ZZ]"));
+    }
+
+    #[test]
+    fn pretty_print_faulty_measurement() {
+        let mut vt = VarTable::new();
+        let s = vt.fresh("s_0", VarRole::Syndrome);
+        let m = vt.fresh("m_0", VarRole::MeasError);
+        let prog = Program::new(
+            Stmt::MeasFlip(
+                s,
+                SymPauli::plain(PauliString::from_letters("ZZ").unwrap()),
+                m,
+            ),
+            2,
+            vt,
+        );
+        assert!(prog.pretty().contains("s_0 := meas[ZZ] ^ m_0"));
     }
 }

@@ -141,6 +141,26 @@ fn exec<O: DecoderOracle>(
                 out
             })
             .collect(),
+        Stmt::MeasFlip(x, p, flip) => configs
+            .into_iter()
+            .flat_map(|(m, st)| {
+                // Same projection as Meas; only the recorded bit is XORed
+                // with the flip indicator's current value.
+                let concrete = p.eval(&m);
+                let recorded_flip = m.get(*flip).as_bool();
+                let mut out = Vec::new();
+                for outcome in [false, true] {
+                    let mut branch = st.clone();
+                    let prob = branch.project_pauli(&concrete, outcome);
+                    if prob > BRANCH_TOL {
+                        let mut m2 = m.clone();
+                        m2.set(*x, Value::Bool(outcome ^ recorded_flip));
+                        out.push((m2, branch));
+                    }
+                }
+                out
+            })
+            .collect(),
         Stmt::Decode(call) => configs
             .into_iter()
             .map(|(mut m, st)| {
@@ -237,6 +257,12 @@ fn run_tab<O: DecoderOracle, F: FnMut() -> bool>(
             let concrete = p.eval(mem);
             let outcome = state.measure_pauli(&concrete, &mut *coin);
             mem.set(*x, Value::Bool(outcome));
+        }
+        Stmt::MeasFlip(x, p, flip) => {
+            let concrete = p.eval(mem);
+            let outcome = state.measure_pauli(&concrete, &mut *coin);
+            let flipped = outcome ^ mem.get(*flip).as_bool();
+            mem.set(*x, Value::Bool(flipped));
         }
         Stmt::Decode(call) => apply_decode(call, mem, oracle),
         Stmt::If(b, s1, s0) => {
@@ -345,6 +371,43 @@ mod tests {
         };
         let out = run_all_branches(&prog, CMem::new(), DenseState::zero_state(1), &oracle);
         assert!(out[0].0.get(c).as_bool());
+    }
+
+    #[test]
+    fn faulty_measurement_corrupts_record_not_state() {
+        // A raised flip indicator inverts the recorded syndrome while the
+        // projected quantum state is identical to the noiseless measurement.
+        let mut vt = VarTable::new();
+        let s = vt.fresh("s_0", VarRole::Syndrome);
+        let m = vt.fresh("m_0", VarRole::MeasError);
+        let prog = Stmt::seq([
+            Stmt::Gate1(Gate1::X, 0), // the error: true syndrome fires
+            Stmt::MeasFlip(s, SymPauli::plain(ps("ZZ")), m),
+        ]);
+        for flip in [false, true] {
+            let mut mem = CMem::new();
+            mem.set(m, Value::Bool(flip));
+            // Dense semantics.
+            let branches =
+                run_all_branches(&prog, mem.clone(), DenseState::zero_state(2), &NoDecoders);
+            assert_eq!(branches.len(), 1, "deterministic outcome");
+            assert_eq!(branches[0].0.get(s).as_bool(), true ^ flip);
+            let mut st = branches[0].1.clone();
+            st.normalize();
+            // The state records the TRUE eigenvalue regardless of the flip.
+            assert!(st.is_stabilized_by(&{
+                let mut p = ps("ZZ");
+                p.add_ipow(2); // −ZZ stabilizes X|00⟩ on qubit 0
+                p
+            }));
+            // Tableau semantics agrees on the record.
+            let mut tab = Tableau::zero_state(2);
+            let mut mem2 = mem.clone();
+            run_tableau(&prog, &mut mem2, &mut tab, &NoDecoders, &mut || {
+                panic!("deterministic")
+            });
+            assert_eq!(mem2.get(s).as_bool(), true ^ flip);
+        }
     }
 
     #[test]

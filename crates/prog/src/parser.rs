@@ -313,6 +313,7 @@ impl Parser<'_> {
             "e" => VarRole::Error,
             "ep" => VarRole::Propagation,
             "s" => VarRole::Syndrome,
+            "m" => VarRole::MeasError,
             "x" | "z" | "c" | "cx" | "cz" => VarRole::Correction,
             "b" => VarRole::Param,
             _ => VarRole::Aux,
@@ -621,6 +622,15 @@ impl Parser<'_> {
                     self.eat(&Tok::LBracket)?;
                     let p = self.pauli_literal()?;
                     self.eat(&Tok::RBracket)?;
+                    if self.peek() == Some(&Tok::Caret) {
+                        // x := meas[P] ^ m — faulty measurement.
+                        self.pos += 1;
+                        let Some(Tok::Ident(f)) = self.bump() else {
+                            return self.err("expected flip-indicator variable after `^`");
+                        };
+                        let m = self.var_ref(f)?;
+                        return Ok(Stmt::MeasFlip(var, p, m));
+                    }
                     Ok(Stmt::Meas(var, p))
                 } else {
                     let e = self.bexp()?;
@@ -861,6 +871,18 @@ mod tests {
             panic!()
         };
         assert!(sp.phase().is_one());
+    }
+
+    #[test]
+    fn faulty_measurement_parses_with_flip_indicator() {
+        let p = parse_program("s[0] := meas[Z[0]*Z[1]] ^ m[0]").unwrap();
+        let Stmt::MeasFlip(s, sp, m) = p.stmt.flatten()[0] else {
+            panic!("expected MeasFlip, got {:?}", p.stmt)
+        };
+        assert_eq!(p.vars.role(*s), VarRole::Syndrome);
+        assert_eq!(p.vars.role(*m), VarRole::MeasError);
+        assert!(sp.phase().is_zero());
+        assert!(p.pretty().contains("s_0 := meas[ZZ] ^ m_0"));
     }
 
     #[test]

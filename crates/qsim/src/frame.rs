@@ -22,12 +22,19 @@ pub enum FrameOp {
     /// Pauli applied when the corresponding indicator is set.
     ErrorSite(usize, PauliString),
     /// A Pauli measurement with its reference outcome (from the noiseless
-    /// run); the sampled outcome is `reference ⊕ anticommute(frame, op)`.
+    /// run); the sampled outcome is
+    /// `reference ⊕ anticommute(frame, op) ⊕ flip`, where `flip` reads the
+    /// error vector at the given measurement-flip site (`None` for perfect
+    /// readout). This is the frame-level mirror of the program statement
+    /// `x := meas[P] ⊕ m`: the flip corrupts the record only — the frame
+    /// itself is untouched, exactly as the quantum state is.
     Measure {
         /// The measured operator.
         op: PauliString,
         /// Outcome of the noiseless reference execution.
         reference: bool,
+        /// Measurement-flip error site, if the readout is faulty.
+        flip: Option<usize>,
     },
 }
 
@@ -70,10 +77,29 @@ impl FrameCircuit {
         idx
     }
 
-    /// Appends a measurement with the given noiseless reference outcome.
+    /// Appends a perfect measurement with the given noiseless reference
+    /// outcome.
     pub fn measure(&mut self, op: PauliString, reference: bool) -> &mut Self {
-        self.ops.push(FrameOp::Measure { op, reference });
+        self.ops.push(FrameOp::Measure {
+            op,
+            reference,
+            flip: None,
+        });
         self
+    }
+
+    /// Appends a *faulty* measurement: the recorded outcome is additionally
+    /// XORed with a fresh measurement-flip error site, whose index in the
+    /// error vector is returned.
+    pub fn measure_noisy(&mut self, op: PauliString, reference: bool) -> usize {
+        let idx = self.num_error_sites;
+        self.num_error_sites += 1;
+        self.ops.push(FrameOp::Measure {
+            op,
+            reference,
+            flip: Some(idx),
+        });
+        idx
     }
 
     /// Number of error sites.
@@ -109,8 +135,13 @@ impl FrameCircuit {
                         frame = frame.mul(p);
                     }
                 }
-                FrameOp::Measure { op, reference } => {
-                    outcomes.push(reference ^ frame.anticommutes_with(op));
+                FrameOp::Measure {
+                    op,
+                    reference,
+                    flip,
+                } => {
+                    let flipped = flip.map(|i| errors[i]).unwrap_or(false);
+                    outcomes.push(reference ^ frame.anticommutes_with(op) ^ flipped);
                 }
             }
         }
@@ -125,6 +156,23 @@ mod tests {
 
     fn ps(s: &str) -> PauliString {
         PauliString::from_letters(s).unwrap()
+    }
+
+    #[test]
+    fn measurement_flip_corrupts_the_record_only() {
+        // A flip site inverts its measurement's record but leaves the frame
+        // (and therefore every later measurement) untouched.
+        let mut fc = FrameCircuit::new(2);
+        let m = fc.measure_noisy(ps("ZZ"), false);
+        fc.measure(ps("ZZ"), false);
+        let mut errors = vec![false; fc.num_error_sites()];
+        assert_eq!(fc.sample(&errors), vec![false, false]);
+        errors[m] = true;
+        assert_eq!(
+            fc.sample(&errors),
+            vec![true, false],
+            "only the flipped round's record changes"
+        );
     }
 
     #[test]
@@ -195,5 +243,135 @@ mod tests {
         let out = fc.sample(&errors);
         assert_eq!(out.len(), n - 1);
         assert!(out.iter().any(|&b| b));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! The frame sampler and the tableau simulator must agree on the
+    //! *syndrome history* of any Clifford circuit with injected Pauli data
+    //! errors and measurement flips — same error configuration, same
+    //! records. This is the shared-semantics pin for the measurement-noise
+    //! model: both backends read one circuit description, so a divergence
+    //! is a bug in one of the two noise implementations.
+
+    use super::*;
+    use crate::Tableau;
+    use proptest::prelude::*;
+
+    /// A measurement-free or measurement step decoded from raw tuples.
+    enum Step {
+        G1(Gate1, usize),
+        G2(Gate2, usize, usize),
+        /// Data-error site: the Pauli applied when the indicator fires.
+        Error(PauliString, usize),
+        /// Measurement of a product of the *current* stabilizer generators
+        /// (deterministic by construction), optionally with a flip site.
+        Meas(PauliString, Option<usize>),
+    }
+
+    /// Decodes raw tuples into a circuit, building the frame circuit and
+    /// the noiseless reference run along the way.
+    fn build(n: usize, raw: &[(u8, u8, u8, u8)]) -> (FrameCircuit, Vec<Step>) {
+        let mut fc = FrameCircuit::new(n);
+        let mut steps = Vec::new();
+        // Current stabilizer generators: U Z_i U† for the gates so far.
+        let mut gens: Vec<PauliString> = (0..n).map(|q| PauliString::single(n, 'Z', q)).collect();
+        // Noiseless reference state.
+        let mut reference = Tableau::zero_state(n);
+        for &(kind, a, b, c) in raw {
+            match kind % 4 {
+                0 => {
+                    let g = [Gate1::H, Gate1::S, Gate1::X, Gate1::Z][a as usize % 4];
+                    let q = b as usize % n;
+                    fc.gate1(g, q);
+                    reference.apply_gate1(g, q);
+                    for gen in &mut gens {
+                        let sp = SymPauli::new(gen.clone(), Affine::zero());
+                        *gen = conj1(g, q, &sp, false).pauli().clone();
+                    }
+                    steps.push(Step::G1(g, q));
+                }
+                1 => {
+                    let g = [Gate2::Cnot, Gate2::Cz][a as usize % 2];
+                    let i = b as usize % n;
+                    let j = (i + 1 + c as usize % (n - 1)) % n;
+                    fc.gate2(g, i, j);
+                    reference.apply_gate2(g, i, j);
+                    for gen in &mut gens {
+                        let sp = SymPauli::new(gen.clone(), Affine::zero());
+                        *gen = conj2(g, i, j, &sp, false).pauli().clone();
+                    }
+                    steps.push(Step::G2(g, i, j));
+                }
+                2 => {
+                    let letter = ['X', 'Y', 'Z'][a as usize % 3];
+                    let p = PauliString::single(n, letter, b as usize % n);
+                    let site = fc.error_site(p.clone());
+                    steps.push(Step::Error(p, site));
+                }
+                _ => {
+                    let mask = 1 + a as usize % ((1 << n) - 1);
+                    let mut op = PauliString::identity(n);
+                    for (i, gen) in gens.iter().enumerate() {
+                        if mask >> i & 1 == 1 {
+                            op = op.mul(gen);
+                        }
+                    }
+                    let outcome =
+                        reference.measure_pauli(&op, || unreachable!("stabilizer product"));
+                    let flip = if b % 2 == 1 {
+                        Some(fc.measure_noisy(op.clone(), outcome))
+                    } else {
+                        fc.measure(op.clone(), outcome);
+                        None
+                    };
+                    steps.push(Step::Meas(op, flip));
+                }
+            }
+        }
+        (fc, steps)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn frame_matches_tableau_with_data_and_measurement_errors(
+            n in 2usize..5,
+            raw in proptest::collection::vec(
+                (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..14),
+            error_seed in any::<u64>(),
+        ) {
+            let (fc, steps) = build(n, &raw);
+            let errors: Vec<bool> = (0..fc.num_error_sites())
+                .map(|i| error_seed >> (i % 64) & 1 == 1)
+                .collect();
+            let frame_history = fc.sample(&errors);
+            // Ground truth: tableau run with the same error configuration.
+            let mut tab = Tableau::zero_state(n);
+            let mut tableau_history = Vec::new();
+            for step in &steps {
+                match step {
+                    Step::G1(g, q) => tab.apply_gate1(*g, *q),
+                    Step::G2(g, i, j) => tab.apply_gate2(*g, *i, *j),
+                    Step::Error(p, site) => {
+                        if errors[*site] {
+                            tab.apply_pauli(p);
+                        }
+                    }
+                    Step::Meas(op, flip) => {
+                        // Pauli errors preserve commutation with the
+                        // stabilizer, so outcomes stay deterministic.
+                        let outcome =
+                            tab.measure_pauli(op, || unreachable!("deterministic"));
+                        let flipped = flip.map(|s| errors[s]).unwrap_or(false);
+                        tableau_history.push(outcome ^ flipped);
+                    }
+                }
+            }
+            // Same error configuration ⇒ same syndrome history.
+            prop_assert_eq!(frame_history, tableau_history);
+        }
     }
 }

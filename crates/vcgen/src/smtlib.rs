@@ -142,6 +142,8 @@ impl VcProblem {
             vars.extend(spec.syndromes.iter().copied());
             vars.extend(spec.corrections.iter().copied());
             vars.extend(spec.errors.iter().copied());
+            vars.extend(spec.flips.iter().copied());
+            vars.extend(spec.meas_errors.iter().copied());
             for row in &spec.checks {
                 vars.extend(row.iter().copied());
             }
@@ -165,18 +167,22 @@ impl VcProblem {
         }
         // Decoder specification P_f.
         for spec in &self.decoder_specs {
-            for (row, &s) in spec.checks.iter().zip(&spec.syndromes) {
+            for (i, (row, &s)) in spec.checks.iter().zip(&spec.syndromes).enumerate() {
                 let mut aff = Affine::var(s);
                 for &c in row {
                     aff.xor_var(c);
+                }
+                // Faulty measurement: the claimed flip enters the row.
+                if let Some(&f) = spec.flips.get(i) {
+                    aff.xor_var(f);
                 }
                 out.push_str("(assert (not ");
                 emit_affine(vt, &aff, &mut out);
                 out.push_str("))\n");
             }
-            let sum = |vs: &[VarId]| {
+            let sum = |vs: &[&[VarId]]| {
                 let mut s = String::from("(+ 0");
-                for &v in vs {
+                for &v in vs.iter().flat_map(|vs| vs.iter()) {
                     let _ = write!(s, " (ite {} 1 0)", var_name(vt, v));
                 }
                 s.push(')');
@@ -185,8 +191,8 @@ impl VcProblem {
             let _ = writeln!(
                 out,
                 "(assert (<= {} {}))",
-                sum(&spec.corrections),
-                sum(&spec.errors)
+                sum(&[&spec.corrections, &spec.flips]),
+                sum(&[&spec.errors, &spec.meas_errors])
             );
         }
         // Refutation goal: some target violated.
@@ -231,6 +237,8 @@ mod tests {
                 syndromes: vec![s0],
                 corrections: vec![c0],
                 errors: vec![e0, e1],
+                flips: vec![],
+                meas_errors: vec![],
             }],
         };
         let doc = problem.to_smtlib(&vt);

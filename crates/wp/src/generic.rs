@@ -87,6 +87,18 @@ pub fn wp_loopfree(stmt: &Stmt, post: &Assertion) -> Result<Assertion, WpError> 
                 Assertion::and(Assertion::not(p), a1),
             ))
         }
+        Stmt::MeasFlip(x, g, m) => {
+            // Faulty measurement records outcome ⊕ m: the (Meas) rule with
+            // the recorded value shifted by the flip indicator,
+            // (P ∧ A[m/x]) ∨ (¬P ∧ A[¬m/x]).
+            let p = Assertion::pauli(g.clone());
+            let a0 = post.subst_classical(*x, &BExp::var(*m));
+            let a1 = post.subst_classical(*x, &BExp::not(BExp::var(*m)));
+            Ok(Assertion::or(
+                Assertion::and(p.clone(), a0),
+                Assertion::and(Assertion::not(p), a1),
+            ))
+        }
         Stmt::Init(q) => {
             // (Z_q ∧ A) ∨ (−Z_q ∧ A[−Y_q/Y_q, −Z_q/Z_q]); the substitution is
             // conjugation by X_q.

@@ -56,7 +56,7 @@ mod soundness {
 
     impl Gen {
         fn random_stmt(&mut self, depth: usize, qec_fragment: bool) -> Stmt {
-            let choice = self.rng.gen_range(0..if qec_fragment { 5 } else { 7 });
+            let choice = self.rng.gen_range(0..if qec_fragment { 6 } else { 8 });
             match choice {
                 0 => {
                     let g = *[Gate1::H, Gate1::S, Gate1::X, Gate1::Z]
@@ -91,6 +91,13 @@ mod soundness {
                     Stmt::Assign(x, BExp::xor(BExp::var(e), BExp::Const(self.rng.gen())))
                 }
                 5 => {
+                    // Faulty measurement: fresh syndrome + flip indicator.
+                    let s = self.fresh_var("s", VarRole::Syndrome);
+                    let m = self.fresh_var("m", VarRole::MeasError);
+                    let p = self.random_pauli();
+                    Stmt::MeasFlip(s, p, m)
+                }
+                6 => {
                     if depth == 0 {
                         Stmt::Skip
                     } else {
@@ -249,6 +256,10 @@ mod soundness {
                     e.free_vars(out);
                 }
                 Stmt::Meas(x, _) => out.push(*x),
+                Stmt::MeasFlip(x, _, m) => {
+                    out.push(*x);
+                    out.push(*m);
+                }
                 Stmt::If(b, a, c) => {
                     b.free_vars(out);
                     collect(a, out);

@@ -77,7 +77,8 @@ impl Engine {
             }
             Stmt::CondGate1(b, g, q) => self.cond_gate(b, *g, *q),
             Stmt::Assign(x, e) => self.assign(*x, e),
-            Stmt::Meas(x, g) => self.measure(*x, g),
+            Stmt::Meas(x, g) => self.measure(*x, g, None),
+            Stmt::MeasFlip(x, g, m) => self.measure(*x, g, Some(*m)),
             Stmt::Decode(call) => {
                 for out in &call.outputs {
                     if self.a.or_vars.contains(out) {
@@ -182,7 +183,11 @@ impl Engine {
         }
     }
 
-    fn measure(&mut self, x: VarId, g: &SymPauli) -> Result<(), WpError> {
+    /// The measurement rule; `flip` carries the indicator of a faulty
+    /// measurement (`x := meas[g] ⊕ flip`): the true outcome is then
+    /// `x ⊕ flip`, so the flip is XORed into the new conjunct's phase —
+    /// measurement noise enters the VC purely as one more phase variable.
+    fn measure(&mut self, x: VarId, g: &SymPauli, flip: Option<VarId>) -> Result<(), WpError> {
         if self.a.or_vars.contains(&x) {
             return Err(WpError::DuplicateMeasurementVariable {
                 var: format!("v{}", x.0),
@@ -200,6 +205,9 @@ impl Engine {
         // forced to respond to the real syndrome).
         let mut new_phase = g.phase().clone();
         new_phase.xor_var(x);
+        if let Some(m) = flip {
+            new_phase.xor_var(m);
+        }
         self.a.conjuncts.push(ExtPauli::from_sym(SymPauli::new(
             g.pauli().clone(),
             new_phase,
@@ -253,6 +261,21 @@ mod tests {
         assert_eq!(r.pre.or_vars, vec![s]);
         let added = r.pre.conjuncts[1].as_single().unwrap();
         assert!(added.phase().contains(s));
+    }
+
+    #[test]
+    fn faulty_measurement_xors_flip_into_the_phase() {
+        // x := meas[g] ⊕ m: the true outcome is x ⊕ m, so the or-bound
+        // conjunct carries (−1)^{x ⊕ m} |g|.
+        let mut vt = VarTable::new();
+        let s = vt.fresh("s", VarRole::Syndrome);
+        let m = vt.fresh("m", VarRole::MeasError);
+        let post = QecAssertion::from_conjuncts(2, vec![plain("XX")]);
+        let g = SymPauli::plain(PauliString::from_letters("ZZ").unwrap());
+        let r = qec_wp(&Stmt::MeasFlip(s, g, m), post).unwrap();
+        assert_eq!(r.pre.or_vars, vec![s], "only the syndrome is or-bound");
+        let added = r.pre.conjuncts[1].as_single().unwrap();
+        assert!(added.phase().contains(s) && added.phase().contains(m));
     }
 
     #[test]

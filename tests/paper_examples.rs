@@ -144,6 +144,8 @@ fn steane_table1_program_from_text() {
         syndromes: sx,
         corrections: zc,
         errors: evars.clone(),
+        flips: vec![],
+        meas_errors: vec![],
     };
     let spec_x = veriqec_decoder::MinWeightSpec {
         checks: hz
@@ -153,6 +155,8 @@ fn steane_table1_program_from_text() {
         syndromes: sz,
         corrections: xc,
         errors: evars.clone(),
+        flips: vec![],
+        meas_errors: vec![],
     };
     let problem = VcProblem {
         vc,
