@@ -1,0 +1,110 @@
+//! Batch-vs-sequential Pauli-frame sampling throughput.
+//!
+//! The bit-sliced `FrameBatch` simulator propagates 64 error
+//! configurations per pass (one lane per configuration, word XOR per gate)
+//! where the single-frame path pays a `PauliString` conjugation per gate
+//! per configuration. Both sides run the same faulty-measurement surface
+//! workload; the `speedup_report` group prints the per-frame ratio — the
+//! recorded evidence for the ≥10× acceptance bar at d=5 (the measured
+//! ratio is orders of magnitude higher).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use veriqec::sampling::faulty_memory_frame;
+use veriqec::scenario::ErrorModel;
+use veriqec_bench::kernels::median_ns;
+use veriqec_codes::{rotated_surface, ExtractionSchedule};
+use veriqec_qsim::{FrameCircuit, LANES};
+
+/// Deterministic xorshift for reproducible error configurations.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// The d-distance faulty-measurement memory circuit with 64 deterministic
+/// weight-≤2 configurations packed as lane masks.
+fn workload(d: usize, rounds: usize) -> (FrameCircuit, Vec<u64>) {
+    let code = rotated_surface(d);
+    let schedule = ExtractionSchedule::repeated(code.generators().len(), rounds);
+    let frame = faulty_memory_frame(&code, ErrorModel::YErrors, &schedule);
+    let sites = frame.circuit.num_error_sites();
+    let mut rng = Lcg(0xD1B5_4A32 ^ d as u64);
+    let mut masks = vec![0u64; sites];
+    for lane in 0..LANES {
+        for _ in 0..2 {
+            masks[(rng.next() as usize) % sites] |= 1u64 << lane;
+        }
+    }
+    (frame.circuit, masks)
+}
+
+fn unpack(masks: &[u64]) -> Vec<Vec<bool>> {
+    (0..LANES)
+        .map(|lane| masks.iter().map(|w| w >> lane & 1 == 1).collect())
+        .collect()
+}
+
+fn bench_frame_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_batch");
+    group.sample_size(20);
+    for d in [3usize, 5, 7] {
+        let (circuit, masks) = workload(d, d);
+        let per_lane = unpack(&masks);
+        group.bench_function(format!("sequential_64_d{d}"), |b| {
+            b.iter(|| {
+                for cfg in &per_lane {
+                    black_box(circuit.sample(cfg));
+                }
+            })
+        });
+        group.bench_function(format!("batch_64_d{d}"), |b| {
+            b.iter(|| black_box(circuit.sample_batch(black_box(&masks))))
+        });
+        // The two paths must agree before their times are comparable.
+        let batch = circuit.sample_batch(&masks);
+        for (lane, cfg) in per_lane.iter().enumerate() {
+            let sequential = circuit.sample(cfg);
+            let unpacked: Vec<bool> = batch.iter().map(|w| w >> lane & 1 == 1).collect();
+            assert_eq!(unpacked, sequential, "d={d} lane {lane}");
+        }
+    }
+    group.finish();
+}
+
+/// Back-to-back per-frame ratio at d=5 — the PR acceptance evidence.
+fn speedup_report(_c: &mut Criterion) {
+    for d in [3usize, 5, 7] {
+        let (circuit, masks) = workload(d, d);
+        let per_lane = unpack(&masks);
+        let seq = median_ns(12, || {
+            for cfg in &per_lane {
+                black_box(circuit.sample(cfg));
+            }
+        }) / LANES as f64;
+        let batch = median_ns(12, || {
+            black_box(circuit.sample_batch(&masks));
+        }) / LANES as f64;
+        eprintln!(
+            "  speedup d={d} frame sampling: sequential {seq:.0} ns/frame vs \
+             batch {batch:.0} ns/frame -> {:.0}x",
+            seq / batch
+        );
+        if d == 5 {
+            assert!(
+                seq / batch >= 10.0,
+                "batch frame sampling must be >= 10x sequential at d=5"
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_frame_batch, speedup_report);
+criterion_main!(benches);

@@ -3,15 +3,18 @@
 //! Testing is fast per sample but needs astronomically many samples for
 //! completeness; verification covers all configurations at once. This bench
 //! measures the per-sample cost of the tableau baseline against full
-//! verification of the same workload.
+//! verification of the same workload, and — since the bit-sliced frame
+//! batch landed — the per-frame cost of the stim-style samplers themselves
+//! (tableau, single frame, 64-lane batch), which is the honest
+//! samples-per-second axis of the paper's §7.2 table.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::prelude::*;
-use veriqec::sampling::sample_scenario;
+use veriqec::sampling::{faulty_memory_frame, sample_scenario};
 use veriqec::scenario::{memory_scenario, ErrorModel};
 use veriqec_bench::surface_problem;
-use veriqec_codes::rotated_surface;
-use veriqec_decoder::{decode_call_oracle, CssLookupDecoder};
+use veriqec_codes::{rotated_surface, ExtractionSchedule};
+use veriqec_qsim::LANES;
 
 fn bench_stim_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("stim_comparison");
@@ -19,8 +22,8 @@ fn bench_stim_comparison(c: &mut Criterion) {
     for d in [3usize, 5] {
         let code = rotated_surface(d);
         let scenario = memory_scenario(&code, ErrorModel::YErrors);
-        let decoder = CssLookupDecoder::for_code(&code, (d - 1) / 2);
-        let oracle = decode_call_oracle(decoder, code.n());
+        let decoder = veriqec_decoder::CssLookupDecoder::for_code(&code, (d - 1) / 2);
+        let oracle = veriqec_decoder::decode_call_oracle(decoder, code.n());
         group.bench_function(format!("sampling_100_d{d}"), |b| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(1);
@@ -34,6 +37,35 @@ fn bench_stim_comparison(c: &mut Criterion) {
                 let (outcome, _) = problem.check();
                 assert!(outcome.is_verified());
             })
+        });
+    }
+    group.finish();
+
+    // Frame-sampler throughput: 64 error configurations of the d-round
+    // faulty-measurement protocol, one frame at a time vs one bit-sliced
+    // batch. Same configurations on both sides; stim's headline trick.
+    let mut group = c.benchmark_group("frame_throughput");
+    group.sample_size(20);
+    for d in [3usize, 5] {
+        let code = rotated_surface(d);
+        let schedule = ExtractionSchedule::repeated(code.generators().len(), d);
+        let frame = faulty_memory_frame(&code, ErrorModel::YErrors, &schedule);
+        let sites = frame.circuit.num_error_sites();
+        let masks: Vec<u64> = (0..sites)
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i as u32 * 7))
+            .collect();
+        let per_lane: Vec<Vec<bool>> = (0..LANES)
+            .map(|lane| masks.iter().map(|w| w >> lane & 1 == 1).collect())
+            .collect();
+        group.bench_function(format!("sequential_64_frames_d{d}"), |b| {
+            b.iter(|| {
+                for cfg in &per_lane {
+                    black_box(frame.circuit.sample(cfg));
+                }
+            })
+        });
+        group.bench_function(format!("batch_64_frames_d{d}"), |b| {
+            b.iter(|| black_box(frame.circuit.sample_batch(black_box(&masks))))
         });
     }
     group.finish();

@@ -1,7 +1,7 @@
 //! Regenerates the paper's evaluation tables/figure data as markdown (plus
 //! machine-readable JSON batch reports from the engine).
 //!
-//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|enumerators|fault_tolerance|quick|all] [max_d]`
+//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|enumerators|fault_tolerance|kernels|quick|all] [max_d]`
 //!
 //! `quick` is the CI smoke mode: a small heterogeneous batch (correction +
 //! detection + distance jobs on small codes) through the engine's shared
@@ -13,6 +13,18 @@
 //! extraction (add `--quick` for the CI subset), asserts the textbook
 //! repeated-measurement result symbolically *and* by exhaustive
 //! frame-sampling, and writes `BENCH_fault_tolerance.json`.
+//!
+//! `kernels` measures the hot GF(2) kernels (widened XOR chains, branch
+//! resolution, batch-vs-sequential frame sampling) and writes
+//! `BENCH_kernels.json`. Add `--quick` for the CI subset; add
+//! `--check <baseline.json>` to gate against a checked-in baseline —
+//! the process exits nonzero if any median regresses beyond the tolerance
+//! or the batch-frame speedup falls below its floor.
+//!
+//! The smoke modes (`quick`, `enumerators --quick`, `fault_tolerance
+//! --quick`, `kernels --check`) exit nonzero on any inconclusive or
+//! cancelled job so CI fails on partial batches, after the artifacts are
+//! written.
 
 use std::time::Instant;
 
@@ -53,6 +65,12 @@ fn main() {
         fault_tolerance(std::env::args().any(|a| a == "--quick"));
         return;
     }
+    if what == "kernels" {
+        let quick = std::env::args().any(|a| a == "--quick");
+        let baseline = std::env::args().skip_while(|a| a != "--check").nth(1);
+        kernels(quick, baseline.as_deref());
+        return;
+    }
     if what == "all" || what == "fig4" {
         fig4(max_d);
     }
@@ -74,6 +92,67 @@ fn main() {
     if what == "all" {
         enumerators(false);
         fault_tolerance(false);
+    }
+}
+
+/// CI gate shared by the smoke modes: a batch with any inconclusive or
+/// cancelled job must fail the build, but only after the artifacts are
+/// written (a partial report is still worth uploading for the post-mortem).
+fn gate_complete(batch: &veriqec::engine::BatchReport) {
+    let incomplete = batch.incomplete_jobs();
+    if !incomplete.is_empty() {
+        eprintln!(
+            "error: {} job(s) did not run to completion:",
+            incomplete.len()
+        );
+        for name in incomplete {
+            eprintln!("  - {name}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `tables kernels [--quick] [--check <baseline.json>]`: measures the hot
+/// kernels, writes `BENCH_kernels.json`, and — with `--check` — gates the
+/// fresh medians against the checked-in baseline, exiting nonzero on any
+/// hard regression.
+fn kernels(quick: bool, baseline: Option<&str>) {
+    use veriqec_bench::json::Json;
+    use veriqec_bench::kernels::{check_against_baseline, run_kernels};
+
+    println!(
+        "\n### GF(2) kernel microbenchmarks{}\n",
+        if quick { " (quick)" } else { "" }
+    );
+    let report = run_kernels(quick);
+    println!("| metric | median ns/op | samples |");
+    println!("|--------|--------------|---------|");
+    for m in &report.metrics {
+        println!("| {} | {:.1} | {} |", m.name, m.median_ns, m.samples);
+    }
+    println!(
+        "\nbatch frame sampling speedup at surface d=5: {:.0}x",
+        report.frame_batch_speedup
+    );
+    let artifact = "BENCH_kernels.json";
+    std::fs::write(artifact, report.to_json()).expect("artifact writable");
+    println!("kernel report written to {artifact}");
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("bad baseline {path}: {e}"));
+        let regressions = check_against_baseline(&report, &doc);
+        if !regressions.is_empty() {
+            eprintln!(
+                "error: {} kernel regression(s) against {path}:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  - {}", r.0);
+            }
+            std::process::exit(1);
+        }
+        println!("all kernels within tolerance of {path}");
     }
 }
 
@@ -181,6 +260,7 @@ fn fault_tolerance(quick: bool) {
         batch.workers,
         batch.wall_time
     );
+    gate_complete(&batch);
 }
 
 /// Failure weight enumerators for the code zoo through the engine's
@@ -256,6 +336,7 @@ fn enumerators(quick: bool) {
         batch.workers,
         batch.wall_time
     );
+    gate_complete(&batch);
 }
 
 fn fig4(max_d: usize) {
@@ -378,6 +459,7 @@ fn quick() {
         sweep.encode_count(),
         sweep.query_count()
     );
+    gate_complete(&batch);
 }
 
 fn fig7(max_d: usize) {

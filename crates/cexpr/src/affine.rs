@@ -7,20 +7,26 @@
 //! The variable set is stored as a dense bit-packed word set (bit `i` set ⇔
 //! `VarId(i)` occurs), sharing the word kernels of [`veriqec_gf2::words`]:
 //! XOR of two forms is a handful of 64-bit word XORs, membership is a bit
-//! test, and iteration is a word scan. Forms over variable ids below 128
-//! live in a fixed inline pair of words with no heap allocation — the common
-//! case for per-gate phase updates — while larger id spaces (multi-cycle,
-//! multi-block scenarios) spill to a heap vector. `VarId`s are allocated
-//! densely by `VarTable`, which keeps the bitset dense in practice.
+//! test, and iteration is a word scan. Forms over variable ids below 256
+//! live in a fixed inline 4-word lane — one XOR step of the widened
+//! [`veriqec_gf2::words`] kernels, and wide enough for the full syndrome
+//! variable space of a `d = 7` surface-code cycle — with no heap
+//! allocation; larger id spaces (multi-cycle, multi-block scenarios) spill
+//! to a heap vector. Two inline forms combine through
+//! [`veriqec_gf2::words::xor_lane`], a fixed-shape 4×u64 XOR with no length
+//! dispatch at all. `VarId`s are allocated densely by `VarTable`, which
+//! keeps the bitset dense in practice.
 
 use crate::{BExp, CMem, VarId};
 use std::cmp::Ordering;
 use std::fmt;
-use veriqec_gf2::words::{self, WordOnes, BITS};
+use veriqec_gf2::words::{self, WordOnes, BITS, LANE_WORDS};
 
 /// Word count of the inline small-form representation: variable ids below
-/// `2 * 64 = 128` never allocate.
-const INLINE_WORDS: usize = 2;
+/// `4 * 64 = 256` never allocate. Matches
+/// [`veriqec_gf2::words::LANE_WORDS`] so an inline×inline XOR is exactly
+/// one lane step of the widened kernels.
+const INLINE_WORDS: usize = LANE_WORDS;
 
 /// The packed variable set of an [`Affine`] form.
 ///
@@ -301,6 +307,13 @@ impl Affine {
 impl std::ops::BitXorAssign<&Affine> for Affine {
     fn bitxor_assign(&mut self, rhs: &Affine) {
         self.constant ^= rhs.constant;
+        // Inline×inline — the per-gate common case — is a fixed 4-word lane
+        // XOR: no significant-length scan, no growth check, no normalize
+        // (inline is always canonical).
+        if let (VarWords::Inline(dst), VarWords::Inline(src)) = (&mut self.vars, &rhs.vars) {
+            words::xor_lane(dst, src);
+            return;
+        }
         let rw = rhs.words();
         let sig = words::significant_len(rw);
         words::xor_into(self.words_mut(sig), &rw[..sig]);
@@ -434,6 +447,36 @@ mod tests {
         assert!(matches!(a.vars, VarWords::Inline(_)));
         assert_eq!(a, Affine::var(VarId(5)));
         assert_eq!(a.max_var(), Some(VarId(5)));
+    }
+
+    #[test]
+    fn inline_span_covers_ids_below_256() {
+        // Ids up to 255 stay in the fixed 4-word lane; 256 spills.
+        let mut a = Affine::var(VarId(255));
+        assert!(matches!(a.vars, VarWords::Inline(_)));
+        a.xor_var(VarId(256));
+        assert!(matches!(a.vars, VarWords::Heap(_)));
+        assert!(a.contains(VarId(255)) && a.contains(VarId(256)));
+    }
+
+    #[test]
+    fn inline_fast_path_matches_general_xor() {
+        // Inline×inline takes the fixed-lane path; forcing one operand to
+        // heap width first takes the general path. Same result either way.
+        let a = Affine::var(VarId(7)) ^ Affine::var(VarId(200)) ^ Affine::one();
+        let b = Affine::var(VarId(200)) ^ Affine::var(VarId(63));
+        let mut fast = a.clone();
+        fast ^= &b;
+        let mut general = a.clone();
+        general.xor_var(VarId(300)); // promote to heap
+        assert!(matches!(general.vars, VarWords::Heap(_)));
+        general ^= &b; // heap×inline: the general path
+        general.xor_var(VarId(300)); // drop the spill bit, demote back
+        assert_eq!(fast, general);
+        assert_eq!(
+            fast,
+            Affine::var(VarId(7)) ^ Affine::var(VarId(63)) ^ Affine::one()
+        );
     }
 
     #[test]

@@ -579,6 +579,21 @@ impl JobOutcome {
         }
     }
 
+    /// True when the job ran to a definite verdict. `Unknown`,
+    /// `Cancelled`, inconclusive detection/distance outcomes and frontiers
+    /// with undecided grid points are *not* conclusive — a batch containing
+    /// one is a partial result, and the `tables` smoke modes exit nonzero
+    /// on it so CI cannot mistake a half-finished report for a green run.
+    pub fn is_conclusive(&self) -> bool {
+        match self {
+            JobOutcome::Unknown | JobOutcome::Cancelled => false,
+            JobOutcome::Detection(DetectionOutcome::Inconclusive) => false,
+            JobOutcome::Distance(DistanceOutcome::Inconclusive { .. }) => false,
+            JobOutcome::Frontier(f) => f.points.iter().all(|p| p.correctable.is_some()),
+            _ => true,
+        }
+    }
+
     /// Short machine-readable tag for reports.
     fn tag(&self) -> &'static str {
         match self {
@@ -638,6 +653,17 @@ impl BatchReport {
     /// Decision-diagram statistics summed across all jobs.
     pub fn total_dd_stats(&self) -> DdStats {
         self.jobs.iter().map(|j| j.dd).sum()
+    }
+
+    /// Names of jobs without a definite verdict (see
+    /// [`JobOutcome::is_conclusive`]). Empty for a fully-resolved batch;
+    /// the `tables` smoke modes exit nonzero when it is not.
+    pub fn incomplete_jobs(&self) -> Vec<&str> {
+        self.jobs
+            .iter()
+            .filter(|j| !j.outcome.is_conclusive())
+            .map(|j| j.name.as_str())
+            .collect()
     }
 
     /// Renders the batch as a markdown table.
@@ -1145,6 +1171,57 @@ mod tests {
     use crate::scenario::{memory_scenario, ErrorModel};
     use crate::tasks::{build_problem, verify_correction, verify_detection};
     use veriqec_codes::{rotated_surface, steane};
+
+    #[test]
+    fn conclusiveness_separates_verdicts_from_partial_results() {
+        assert!(JobOutcome::Verified.is_conclusive());
+        assert!(JobOutcome::Distance(DistanceOutcome::Exact(3)).is_conclusive());
+        assert!(!JobOutcome::Unknown.is_conclusive());
+        assert!(!JobOutcome::Cancelled.is_conclusive());
+        assert!(!JobOutcome::Detection(DetectionOutcome::Inconclusive).is_conclusive());
+        assert!(
+            !JobOutcome::Distance(DistanceOutcome::Inconclusive { verified_below: 2 })
+                .is_conclusive()
+        );
+        // A frontier is conclusive only when every grid point has a verdict.
+        let point = |correctable| FrontierPoint {
+            t_data: 0,
+            t_meas: 0,
+            correctable,
+        };
+        let full = FaultToleranceFrontier {
+            points: vec![point(Some(true)), point(Some(false))],
+        };
+        let partial = FaultToleranceFrontier {
+            points: vec![point(Some(true)), point(None)],
+        };
+        assert!(JobOutcome::Frontier(full).is_conclusive());
+        assert!(!JobOutcome::Frontier(partial.clone()).is_conclusive());
+
+        let report = BatchReport {
+            jobs: vec![
+                JobReport {
+                    name: "done".into(),
+                    outcome: JobOutcome::Verified,
+                    subtasks: 1,
+                    busy_time: Duration::ZERO,
+                    stats: SolverStats::default(),
+                    dd: DdStats::default(),
+                },
+                JobReport {
+                    name: "half".into(),
+                    outcome: JobOutcome::Frontier(partial),
+                    subtasks: 1,
+                    busy_time: Duration::ZERO,
+                    stats: SolverStats::default(),
+                    dd: DdStats::default(),
+                },
+            ],
+            wall_time: Duration::ZERO,
+            workers: 1,
+        };
+        assert_eq!(report.incomplete_jobs(), vec!["half"]);
+    }
 
     #[test]
     fn detection_session_sweep_is_single_encode() {

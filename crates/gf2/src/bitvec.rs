@@ -138,6 +138,27 @@ impl BitVec {
         words::xor_into(&mut self.blocks, &other.blocks);
     }
 
+    /// In-place XOR with another vector of the same length, starting at
+    /// storage word `from_word` (bits below `from_word * 64` are left
+    /// untouched in `self` and ignored in `other`).
+    ///
+    /// This is the windowed kernel of the blocked elimination in
+    /// [`crate::BitMatrix`]: when the source row is known to have a zero
+    /// prefix (an echelon-form pivot row), skipping its leading zero words
+    /// does the same XOR with a fraction of the memory traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_assign_from_word(&mut self, other: &BitVec, from_word: usize) {
+        assert_eq!(
+            self.len, other.len,
+            "length mismatch in xor_assign_from_word"
+        );
+        let start = from_word.min(self.blocks.len());
+        words::xor_into(&mut self.blocks[start..], &other.blocks[start..]);
+    }
+
     /// Returns `self XOR other`.
     pub fn xored(&self, other: &BitVec) -> BitVec {
         let mut r = self.clone();
@@ -328,6 +349,27 @@ mod tests {
         let w = BitVec::from_words(130, vec![1]);
         assert_eq!(w.as_words().len(), 3);
         assert_eq!(w.weight(), 1);
+    }
+
+    #[test]
+    fn xor_assign_from_word_skips_prefix() {
+        let a = BitVec::from_ones(200, &[1, 64, 130, 199]);
+        let b = BitVec::from_ones(200, &[1, 65, 130]);
+        // Window starting at word 1 leaves bits 0..64 of `a` untouched and
+        // ignores bits 0..64 of `b`; above that it is a plain XOR.
+        let mut windowed = a.clone();
+        windowed.xor_assign_from_word(&b, 1);
+        let mut expect = a.clone();
+        expect.xor_assign(&b);
+        expect.set(1, true); // undo the bit-1 toggle that the window skipped
+        assert_eq!(windowed, expect);
+        // Window 0 is exactly xor_assign; out-of-range windows are no-ops.
+        let mut full = a.clone();
+        full.xor_assign_from_word(&b, 0);
+        assert_eq!(full, a.xored(&b));
+        let mut none = a.clone();
+        none.xor_assign_from_word(&b, 100);
+        assert_eq!(none, a);
     }
 
     #[test]

@@ -93,5 +93,18 @@ mod proptests {
         fn matrix_mul_associates_with_vec(m in arb_matrix(4, 5), n in arb_matrix(5, 6), v in arb_bitvec(6)) {
             prop_assert_eq!(m.mul(&n).mul_vec(&v), m.mul_vec(&n.mul_vec(&v)));
         }
+
+        #[test]
+        fn blocked_rref_is_block_size_invariant(m in arb_matrix(9, 140), block in 1usize..6) {
+            // Wide enough to span three storage words, so the windowed XOR
+            // start offsets actually vary. block=1 is plain per-pivot
+            // back-substitution — the oracle for every other block size.
+            let mut unit = m.clone();
+            let mut blocked = m;
+            let up = unit.rref_blocked(1);
+            let bp = blocked.rref_blocked(block);
+            prop_assert_eq!(up, bp);
+            prop_assert_eq!(unit, blocked);
+        }
     }
 }

@@ -5,11 +5,63 @@
 //! (bit `i` lives in word `i / 64` at position `i % 64`), so callers with
 //! different container shapes — fixed inline arrays, heap vectors, matrix
 //! rows — all funnel through the same XOR / popcount / bit-scan loops.
+//!
+//! The bulk kernels (`xor_into`, `popcount`, `dot`, `is_zero`) process
+//! [`LANE_WORDS`]` = 4` words per step with a scalar tail, written as
+//! manual lane unrolls so the compiler emits 256-bit vector code without
+//! any external SIMD crate. The straight one-word-at-a-time loops are kept
+//! in [`scalar`] as the differential-test oracle and the microbenchmark
+//! baseline; every widened kernel is property-tested against its scalar
+//! twin on random lengths, including non-multiple-of-4 tails.
 
 /// Bits per storage word.
 pub const BITS: usize = 64;
 
-/// XORs `src` into the front of `dst`.
+/// Words processed per unrolled lane step of the bulk kernels (4 × u64 =
+/// one 256-bit vector register).
+pub const LANE_WORDS: usize = 4;
+
+/// Reference one-word-at-a-time kernels: the pre-widening loops, kept as
+/// the oracle for the 4-lane differential proptests and as the baseline
+/// side of the `tables kernels` microbenchmarks.
+pub mod scalar {
+    /// One-word-at-a-time [`super::xor_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is shorter than `src`.
+    #[inline]
+    pub fn xor_into(dst: &mut [u64], src: &[u64]) {
+        assert!(dst.len() >= src.len(), "xor_into: destination too short");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+    }
+
+    /// One-word-at-a-time [`super::popcount`].
+    #[inline]
+    pub fn popcount(words: &[u64]) -> usize {
+        words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// One-word-at-a-time [`super::dot`].
+    #[inline]
+    pub fn dot(a: &[u64], b: &[u64]) -> bool {
+        a.iter()
+            .zip(b)
+            .fold(0u32, |acc, (x, y)| acc ^ (x & y).count_ones())
+            & 1
+            == 1
+    }
+
+    /// One-word-at-a-time [`super::is_zero`].
+    #[inline]
+    pub fn is_zero(words: &[u64]) -> bool {
+        words.iter().all(|&w| w == 0)
+    }
+}
+
+/// XORs `src` into the front of `dst`, four words per lane step.
 ///
 /// # Panics
 ///
@@ -18,21 +70,62 @@ pub const BITS: usize = 64;
 #[inline]
 pub fn xor_into(dst: &mut [u64], src: &[u64]) {
     assert!(dst.len() >= src.len(), "xor_into: destination too short");
-    for (d, s) in dst.iter_mut().zip(src) {
+    let n = src.len();
+    let mut dst4 = dst[..n].chunks_exact_mut(LANE_WORDS);
+    let mut src4 = src.chunks_exact(LANE_WORDS);
+    for (d, s) in dst4.by_ref().zip(src4.by_ref()) {
+        d[0] ^= s[0];
+        d[1] ^= s[1];
+        d[2] ^= s[2];
+        d[3] ^= s[3];
+    }
+    for (d, s) in dst4.into_remainder().iter_mut().zip(src4.remainder()) {
         *d ^= s;
     }
 }
 
-/// Number of set bits across the slice.
+/// XORs one fixed inline lane into another — the allocation-free fast path
+/// for `veriqec_cexpr::Affine` forms whose variable ids fit the inline
+/// span (`LANE_WORDS * 64 = 256` ids).
 #[inline]
-pub fn popcount(words: &[u64]) -> usize {
-    words.iter().map(|w| w.count_ones() as usize).sum()
+pub fn xor_lane(dst: &mut [u64; LANE_WORDS], src: &[u64; LANE_WORDS]) {
+    dst[0] ^= src[0];
+    dst[1] ^= src[1];
+    dst[2] ^= src[2];
+    dst[3] ^= src[3];
 }
 
-/// True when no bit is set.
+/// Number of set bits across the slice, four partial counters per lane
+/// step (summed once at the end, so the lanes stay independent).
+#[inline]
+pub fn popcount(words: &[u64]) -> usize {
+    let mut c = [0usize; LANE_WORDS];
+    let mut it = words.chunks_exact(LANE_WORDS);
+    for w in it.by_ref() {
+        c[0] += w[0].count_ones() as usize;
+        c[1] += w[1].count_ones() as usize;
+        c[2] += w[2].count_ones() as usize;
+        c[3] += w[3].count_ones() as usize;
+    }
+    let mut total = c[0] + c[1] + c[2] + c[3];
+    for w in it.remainder() {
+        total += w.count_ones() as usize;
+    }
+    total
+}
+
+/// True when no bit is set; OR-accumulates four words per lane step.
 #[inline]
 pub fn is_zero(words: &[u64]) -> bool {
-    words.iter().all(|&w| w == 0)
+    let mut it = words.chunks_exact(LANE_WORDS);
+    let mut acc = 0u64;
+    for w in it.by_ref() {
+        acc |= w[0] | w[1] | w[2] | w[3];
+    }
+    for &w in it.remainder() {
+        acc |= w;
+    }
+    acc == 0
 }
 
 /// Length of the slice with trailing zero words trimmed: the smallest `n`
@@ -64,14 +157,25 @@ pub fn first_common_one(a: &[u64], b: &[u64]) -> Option<usize> {
 }
 
 /// Parity of the bitwise AND of two slices (the GF(2) inner product); the
-/// shorter slice is implicitly zero-extended.
+/// shorter slice is implicitly zero-extended. Four independent parity
+/// accumulators per lane step, folded once at the end.
 #[inline]
 pub fn dot(a: &[u64], b: &[u64]) -> bool {
-    a.iter()
-        .zip(b)
-        .fold(0u32, |acc, (x, y)| acc ^ (x & y).count_ones())
-        & 1
-        == 1
+    let n = a.len().min(b.len());
+    let mut a4 = a[..n].chunks_exact(LANE_WORDS);
+    let mut b4 = b[..n].chunks_exact(LANE_WORDS);
+    let mut c = [0u32; LANE_WORDS];
+    for (x, y) in a4.by_ref().zip(b4.by_ref()) {
+        c[0] ^= (x[0] & y[0]).count_ones();
+        c[1] ^= (x[1] & y[1]).count_ones();
+        c[2] ^= (x[2] & y[2]).count_ones();
+        c[3] ^= (x[3] & y[3]).count_ones();
+    }
+    let mut acc = c[0] ^ c[1] ^ c[2] ^ c[3];
+    for (x, y) in a4.remainder().iter().zip(b4.remainder()) {
+        acc ^= (x & y).count_ones();
+    }
+    acc & 1 == 1
 }
 
 /// Iterator over the indices of set bits in a word slice, ascending.
@@ -172,5 +276,80 @@ mod tests {
         let ones: Vec<usize> = WordOnes::new(&w).collect();
         assert_eq!(ones, vec![0, 63, 133]);
         assert!(WordOnes::new(&[]).next().is_none());
+    }
+
+    #[test]
+    fn xor_lane_matches_xor_into() {
+        let mut a = [1u64, 2, 3, 4];
+        let mut b = a;
+        xor_lane(&mut a, &[5, 6, 7, 8]);
+        xor_into(&mut b, &[5, 6, 7, 8]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lane_kernels_handle_exact_multiples_and_tails() {
+        // Lengths straddling the 4-word lane boundary.
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 11, 12] {
+            let a: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+            let b: Vec<u64> = (0..len as u64).map(|i| !i ^ 0xABCD).collect();
+            let mut wide = a.clone();
+            let mut narrow = a.clone();
+            xor_into(&mut wide, &b);
+            scalar::xor_into(&mut narrow, &b);
+            assert_eq!(wide, narrow, "len {len}");
+            assert_eq!(popcount(&a), scalar::popcount(&a), "len {len}");
+            assert_eq!(dot(&a, &b), scalar::dot(&a, &b), "len {len}");
+            assert_eq!(is_zero(&a), scalar::is_zero(&a), "len {len}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod lane_proptests {
+    //! The 4-lane kernels must agree bit for bit with the one-word scalar
+    //! loops on every input shape — random lengths (including tails that
+    //! are not a multiple of 4 words), mismatched operand lengths for
+    //! `dot`, and dense/sparse contents.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn widened_xor_matches_scalar(
+            dst in proptest::collection::vec(any::<u64>(), 0..13),
+            src_extra in 0usize..4,
+            seed in any::<u64>(),
+        ) {
+            // src no longer than dst (the panic contract), arbitrary tail.
+            let src_len = dst.len().saturating_sub(src_extra);
+            let src: Vec<u64> = (0..src_len as u64)
+                .map(|i| seed.wrapping_mul(i.wrapping_add(0x9E37_79B9)))
+                .collect();
+            let mut wide = dst.clone();
+            let mut narrow = dst.clone();
+            xor_into(&mut wide, &src);
+            scalar::xor_into(&mut narrow, &src);
+            prop_assert_eq!(wide, narrow);
+        }
+
+        #[test]
+        fn widened_popcount_and_is_zero_match_scalar(
+            words in proptest::collection::vec(any::<u64>(), 0..13),
+        ) {
+            prop_assert_eq!(popcount(&words), scalar::popcount(&words));
+            prop_assert_eq!(is_zero(&words), scalar::is_zero(&words));
+        }
+
+        #[test]
+        fn widened_dot_matches_scalar(
+            a in proptest::collection::vec(any::<u64>(), 0..13),
+            b in proptest::collection::vec(any::<u64>(), 0..13),
+        ) {
+            prop_assert_eq!(dot(&a, &b), scalar::dot(&a, &b));
+        }
     }
 }

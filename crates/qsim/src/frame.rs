@@ -107,6 +107,16 @@ impl FrameCircuit {
         self.num_error_sites
     }
 
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The compiled op stream, shared with the bit-sliced batch sampler.
+    pub(crate) fn ops(&self) -> &[FrameOp] {
+        &self.ops
+    }
+
     /// Propagates one error configuration through the circuit, returning the
     /// measurement outcomes. `errors[i]` activates error site `i`.
     ///

@@ -17,12 +17,14 @@
 mod complex;
 mod dense;
 mod frame;
+mod frame_batch;
 mod subspace;
 mod tableau;
 
 pub use complex::{inner, vec_norm, C64};
 pub use dense::{gate1_matrix, gate2_matrix, pauli_matrix, DenseState};
 pub use frame::{FrameCircuit, FrameOp};
+pub use frame_batch::{FrameBatch, LANES};
 pub use subspace::Subspace;
 pub use tableau::Tableau;
 

@@ -56,7 +56,10 @@ impl ReducedVc {
     /// that claims an unpivoted or-variable column becomes that variable's
     /// frozen pivot (a pin); a row that runs out of or-variable bits is a
     /// residual proof obligation. No per-pivot set clones, no per-element
-    /// tree surgery.
+    /// tree surgery. The row XORs ride the widened 4×u64-lane kernels:
+    /// forms whose variable ids fit `Affine`'s inline span (ids below 256 —
+    /// every single-cycle surface workload up to `d = 7`) combine in one
+    /// fixed-shape lane XOR with no length dispatch.
     ///
     /// [`veriqec_gf2::BitMatrix::pivot_reduce_masked`] implements the same
     /// elimination at the explicit-matrix level; a property test

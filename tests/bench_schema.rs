@@ -1,0 +1,146 @@
+//! Schema tests for the machine-readable BENCH artifacts.
+//!
+//! CI uploads `BENCH_enumerators.json`, `BENCH_fault_tolerance.json` and
+//! `BENCH_kernels.json`; downstream tooling (the perf-regression gate,
+//! plotting scripts) parses them without serde. These tests generate each
+//! artifact in-process through the same writers the `tables` binary uses
+//! — `BatchReport::to_json` for the engine batches, `KernelsReport::to_json`
+//! for the kernel gate — then parse them back with `veriqec_bench::json`
+//! and assert the keys and invariants the consumers rely on.
+
+use veriqec::engine::{Engine, EngineConfig, Job};
+use veriqec::scenario::{faulty_memory_scenario, ErrorModel};
+use veriqec_bench::json::Json;
+use veriqec_bench::kernels::{KernelsReport, Metric};
+use veriqec_codes::{five_qubit, repetition, steane};
+
+/// Every engine batch shares this envelope.
+fn check_envelope(doc: &Json) -> Vec<Json> {
+    assert!(doc.get("wall_time_ms").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(doc.get("workers").unwrap().as_f64().unwrap() >= 1.0);
+    let jobs = doc.get("jobs").unwrap().as_arr().unwrap();
+    assert!(!jobs.is_empty(), "batch report must list its jobs");
+    for job in jobs {
+        assert!(job.get("name").unwrap().as_str().is_some());
+        assert!(job.get("outcome").unwrap().as_str().is_some());
+        assert!(job.get("busy_ms").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(job.get("subtasks").unwrap().as_f64().unwrap() >= 0.0);
+    }
+    jobs.to_vec()
+}
+
+#[test]
+fn enumerators_report_has_counts_matching_group_theory() {
+    // The same shape `tables enumerators` writes, on the CI-cheap codes.
+    let codes = [five_qubit(), steane()];
+    let jobs: Vec<Job> = codes
+        .iter()
+        .map(|code| Job::count(code.name().to_string(), code.clone()))
+        .collect();
+    let batch = Engine::new(EngineConfig::default()).run(jobs);
+    assert!(batch.incomplete_jobs().is_empty());
+
+    let doc = Json::parse(&batch.to_json()).expect("engine emits valid JSON");
+    let jobs = check_envelope(&doc);
+    assert_eq!(jobs.len(), codes.len());
+    for (code, job) in codes.iter().zip(&jobs) {
+        assert_eq!(job.get("outcome").unwrap().as_str(), Some("enumerator"));
+        let min_weight = job.get("min_weight").unwrap().as_f64().unwrap() as usize;
+        assert_eq!(Some(min_weight), code.claimed_distance());
+        let coeffs = job.get("coefficients").unwrap().as_arr().unwrap();
+        assert_eq!(coeffs.len(), code.n() + 1);
+        // Coefficients below the distance vanish; the full enumerator sums
+        // to the group-theoretic failure total 2^(n+k) − 2^(n−k).
+        for c in &coeffs[..min_weight] {
+            assert_eq!(c.as_f64(), Some(0.0));
+        }
+        let total: f64 = coeffs.iter().map(|c| c.as_f64().unwrap()).sum();
+        let (n, k) = (code.n() as u32, code.k() as u32);
+        let expected = ((1u128 << (n + k)) - (1u128 << (n - k))) as f64;
+        assert_eq!(total, expected, "{}", code.name());
+    }
+}
+
+#[test]
+fn fault_tolerance_report_exposes_the_frontier_grid() {
+    // One cheap frontier job, exactly as `tables fault_tolerance --quick`
+    // runs them: repetition-3 with a single extraction round.
+    let scenario = faulty_memory_scenario(&repetition(3), ErrorModel::XErrors, 1);
+    let batch = Engine::new(EngineConfig::default()).run(vec![Job::fault_tolerance(
+        "repetition_3_r1",
+        &scenario,
+        1,
+        1,
+    )]);
+    assert!(batch.incomplete_jobs().is_empty());
+
+    let doc = Json::parse(&batch.to_json()).expect("engine emits valid JSON");
+    let jobs = check_envelope(&doc);
+    assert_eq!(jobs[0].get("outcome").unwrap().as_str(), Some("frontier"));
+    let points = jobs[0].get("points").unwrap().as_arr().unwrap();
+    assert_eq!(points.len(), 4, "full 2x2 (t_data, t_meas) grid");
+    for p in points {
+        assert!(p.get("t_data").unwrap().as_f64().unwrap() <= 1.0);
+        assert!(p.get("t_meas").unwrap().as_f64().unwrap() <= 1.0);
+        // Every grid point must carry a verdict (else the job would have
+        // been flagged incomplete above).
+        assert!(p.get("correctable").unwrap().as_bool().is_some());
+    }
+    // The degenerate budgets are always correctable.
+    let verdict = |td: f64, tm: f64| {
+        points
+            .iter()
+            .find(|p| {
+                p.get("t_data").unwrap().as_f64() == Some(td)
+                    && p.get("t_meas").unwrap().as_f64() == Some(tm)
+            })
+            .and_then(|p| p.get("correctable").unwrap().as_bool())
+    };
+    assert_eq!(verdict(0.0, 0.0), Some(true));
+    assert_eq!(verdict(1.0, 0.0), Some(true));
+}
+
+#[test]
+fn kernels_report_matches_the_gate_schema() {
+    // The writer the `kernels` mode uses, on representative metrics — the
+    // measurement itself is covered by the bench targets; this pins the
+    // artifact schema the CI gate and baseline file depend on.
+    let report = KernelsReport {
+        quick: true,
+        metrics: vec![
+            Metric {
+                name: "xor_chain_d5".into(),
+                median_ns: 51234.5,
+                samples: 24,
+            },
+            Metric {
+                name: "frame_batch_d5".into(),
+                median_ns: 87.2,
+                samples: 24,
+            },
+        ],
+        frame_batch_speedup: 412.0,
+    };
+    let doc = Json::parse(&report.to_json()).expect("kernels report is valid JSON");
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("veriqec_kernels_v1")
+    );
+    assert_eq!(doc.get("quick").unwrap().as_bool(), Some(true));
+    assert!(doc.get("frame_batch_speedup").unwrap().as_f64().unwrap() >= 10.0);
+    let metrics = doc.get("metrics").unwrap().as_arr().unwrap();
+    assert!(!metrics.is_empty());
+    for m in metrics {
+        assert!(m.get("name").unwrap().as_str().is_some());
+        assert!(m.get("median_ns").unwrap().as_f64().unwrap() > 0.0);
+        assert!(m.get("samples").unwrap().as_f64().unwrap() > 0.0);
+    }
+    // The gate's join key: metric names are unique.
+    let mut names: Vec<&str> = metrics
+        .iter()
+        .map(|m| m.get("name").unwrap().as_str().unwrap())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), metrics.len());
+}
