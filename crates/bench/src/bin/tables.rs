@@ -1,7 +1,7 @@
 //! Regenerates the paper's evaluation tables/figure data as markdown (plus
 //! machine-readable JSON batch reports from the engine).
 //!
-//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|enumerators|fault_tolerance|kernels|quick|all] [max_d]`
+//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|enumerators|fault_tolerance|kernels|solver|quick|all] [max_d]`
 //!
 //! `quick` is the CI smoke mode: a small heterogeneous batch (correction +
 //! detection + distance jobs on small codes) through the engine's shared
@@ -16,10 +16,12 @@
 //!
 //! `kernels` measures the hot GF(2) kernels (widened XOR chains, branch
 //! resolution, batch-vs-sequential frame sampling) and writes
-//! `BENCH_kernels.json`. Add `--quick` for the CI subset; add
-//! `--check <baseline.json>` to gate against a checked-in baseline —
+//! `BENCH_kernels.json`. `solver` measures CDCL throughput
+//! (propagations/sec, conflicts/sec) on pinned pure-SAT and zoo instances
+//! and writes `BENCH_solver.json`. Both take `--quick` for the CI subset
+//! and `--check <baseline.json>` to gate against a checked-in baseline —
 //! the process exits nonzero if any median regresses beyond the tolerance
-//! or the batch-frame speedup falls below its floor.
+//! or a throughput floor is violated.
 //!
 //! The smoke modes (`quick`, `enumerators --quick`, `fault_tolerance
 //! --quick`, `kernels --check`) exit nonzero on any inconclusive or
@@ -69,6 +71,12 @@ fn main() {
         let quick = std::env::args().any(|a| a == "--quick");
         let baseline = std::env::args().skip_while(|a| a != "--check").nth(1);
         kernels(quick, baseline.as_deref());
+        return;
+    }
+    if what == "solver" {
+        let quick = std::env::args().any(|a| a == "--quick");
+        let baseline = std::env::args().skip_while(|a| a != "--check").nth(1);
+        solver(quick, baseline.as_deref());
         return;
     }
     if what == "all" || what == "fig4" {
@@ -153,6 +161,60 @@ fn kernels(quick: bool, baseline: Option<&str>) {
             std::process::exit(1);
         }
         println!("all kernels within tolerance of {path}");
+    }
+}
+
+/// `tables solver [--quick] [--check <baseline.json>]`: measures CDCL
+/// throughput on the pinned instances, writes `BENCH_solver.json`, and —
+/// with `--check` — gates the fresh medians against the checked-in
+/// baseline's `solver_metrics` section, exiting nonzero on any hard
+/// regression or a propagation-throughput floor violation.
+fn solver(quick: bool, baseline: Option<&str>) {
+    use veriqec_bench::json::Json;
+    use veriqec_bench::solver_bench::{check_solver_baseline, run_solver_bench};
+
+    println!(
+        "\n### CDCL solver throughput{}\n",
+        if quick { " (quick)" } else { "" }
+    );
+    let report = run_solver_bench(quick);
+    println!("| instance | verdict | wall ms | propagations | conflicts | props/s | mean LBD |");
+    println!("|----------|---------|---------|--------------|-----------|---------|----------|");
+    for m in &report.metrics {
+        println!(
+            "| {} | {} | {:.2} | {} | {} | {:.2e} | {:.2} |",
+            m.name,
+            m.verdict,
+            m.wall_ms,
+            m.stats.propagations,
+            m.stats.conflicts,
+            m.props_per_sec(),
+            m.stats.mean_learnt_lbd(),
+        );
+    }
+    println!(
+        "\naggregate: {:.2e} propagations/s, {:.2e} conflicts/s",
+        report.props_per_sec, report.conflicts_per_sec
+    );
+    let artifact = "BENCH_solver.json";
+    std::fs::write(artifact, report.to_json()).expect("artifact writable");
+    println!("solver report written to {artifact}");
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("bad baseline {path}: {e}"));
+        let regressions = check_solver_baseline(&report, &doc);
+        if !regressions.is_empty() {
+            eprintln!(
+                "error: {} solver regression(s) against {path}:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  - {}", r.0);
+            }
+            std::process::exit(1);
+        }
+        println!("all solver instances within tolerance of {path}");
     }
 }
 

@@ -4,9 +4,10 @@
 //! the paper's evaluation section; `DESIGN.md` maps experiment ids to
 //! targets, and `EXPERIMENTS.md` records paper-vs-measured results. The
 //! [`kernels`] module is the CI perf-regression gate's measurement core
-//! (`tables kernels` → `BENCH_kernels.json`), and [`json`] is the minimal
-//! parser that the gate and the artifact schema tests read those reports
-//! with (the tree is offline — no serde).
+//! (`tables kernels` → `BENCH_kernels.json`), [`solver_bench`] is the CDCL
+//! throughput gate next to it (`tables solver` → `BENCH_solver.json`), and
+//! [`json`] is the minimal parser that the gates and the artifact schema
+//! tests read those reports with (the tree is offline — no serde).
 
 use veriqec::scenario::{memory_scenario, ErrorModel, Scenario};
 use veriqec::tasks::build_problem;
@@ -15,6 +16,7 @@ use veriqec_vcgen::VcProblem;
 
 pub mod json;
 pub mod kernels;
+pub mod solver_bench;
 
 /// The rotated-surface memory workload of Figs. 4/6/7 at distance `d`.
 pub fn surface_workload(d: usize) -> (StabilizerCode, Scenario) {

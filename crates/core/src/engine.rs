@@ -669,17 +669,18 @@ impl BatchReport {
     /// Renders the batch as a markdown table.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
-        out.push_str("| job | outcome | subtasks | busy | conflicts | decisions |\n");
-        out.push_str("|-----|---------|----------|------|-----------|-----------|\n");
+        out.push_str("| job | outcome | subtasks | busy | conflicts | decisions | mean LBD |\n");
+        out.push_str("|-----|---------|----------|------|-----------|-----------|----------|\n");
         for j in &self.jobs {
             out.push_str(&format!(
-                "| {} | {} | {} | {:?} | {} | {} |\n",
+                "| {} | {} | {} | {:?} | {} | {} | {:.2} |\n",
                 j.name,
                 j.outcome.tag(),
                 j.subtasks,
                 j.busy_time,
                 j.stats.conflicts,
                 j.stats.decisions,
+                j.stats.mean_learnt_lbd(),
             ));
         }
         out.push_str(&format!(
@@ -761,6 +762,13 @@ impl BatchReport {
                 j.stats.decisions,
                 j.stats.propagations,
                 j.stats.restarts,
+            ));
+            out.push_str(&format!(
+                ",\"minimized_lits\":{},\"gc_runs\":{},\"arena_bytes\":{},\"mean_lbd\":{:.3}",
+                j.stats.minimized_lits,
+                j.stats.gc_runs,
+                j.stats.arena_bytes,
+                j.stats.mean_learnt_lbd(),
             ));
             if j.dd != DdStats::default() {
                 out.push_str(&format!(

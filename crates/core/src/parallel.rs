@@ -82,7 +82,9 @@ pub struct ParallelReport {
     /// Wall-clock time.
     pub wall_time: Duration,
     /// Solver statistics summed across all workers (conflicts, decisions,
-    /// propagations, restarts, kept learnt clauses).
+    /// propagations, restarts, kept learnt clauses, minimization and
+    /// clause-arena GC counters; `arena_bytes` sums the final footprint of
+    /// every worker session).
     pub stats: SolverStats,
 }
 

@@ -1,32 +1,49 @@
 //! A CDCL SAT solver: two-watched literals, first-UIP learning, VSIDS
-//! branching with phase saving, Luby restarts and learned-clause reduction.
+//! branching with phase saving, Luby restarts and glue-tiered learned-clause
+//! reduction over a flat clause arena.
 //!
 //! This is the engine behind the `veriqec_smt` formula layer and thus the
 //! reproduction's stand-in for the paper's Z3/CVC5 back end.
 
+use crate::arena::{ClauseArena, ClauseRef};
 use crate::heap::ActivityHeap;
 use crate::{LBool, Lit, Var};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// Reference to a clause in the solver's arena.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct ClauseRef(u32);
+/// Learnt clauses with learn-time LBD at or below this are "core" tier:
+/// kept unconditionally by database reductions (Glucose's glue-clause
+/// protection).
+const CORE_LBD: u32 = 3;
 
-#[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    deleted: bool,
-    activity: f64,
-}
+/// High bit of a [`Watcher`]'s clause reference, set for binary clauses.
+/// A binary clause propagates entirely from its watcher — the blocker *is*
+/// the other literal — so the watch scan never has to load the clause.
+/// Arena offsets stay below this bit (`u32` words, so a <8 GiB arena).
+const BINARY_TAG: u32 = 1 << 31;
 
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
+    /// The clause's arena reference, with [`BINARY_TAG`] folded into the
+    /// high bit for binary clauses.
     cref: ClauseRef,
     /// A literal of the clause other than the watched one; if it is already
     /// true the clause cannot propagate and the watch scan can skip it.
     blocker: Lit,
+}
+
+impl Watcher {
+    /// The untagged clause reference.
+    #[inline]
+    fn clause(&self) -> ClauseRef {
+        ClauseRef(self.cref.0 & !BINARY_TAG)
+    }
+
+    /// True when the watched clause is binary.
+    #[inline]
+    fn is_binary(&self) -> bool {
+        self.cref.0 & BINARY_TAG != 0
+    }
 }
 
 /// Tunable feature switches, used by the ablation benchmarks.
@@ -40,10 +57,20 @@ pub struct SolverConfig {
     pub use_phase_saving: bool,
     /// Restart with the Luby sequence.
     pub use_restarts: bool,
+    /// Minimize learnt clauses with the full recursive redundancy test and
+    /// abstract-level pruning (otherwise: the cheap one-step rule).
+    pub use_recursive_minimization: bool,
     /// Base interval (in conflicts) of the Luby restart sequence.
     pub restart_base: u64,
     /// Maximum number of conflicts before giving up (`None` = unbounded).
     pub conflict_budget: Option<u64>,
+    /// Run the arena garbage collector once at least this fraction of the
+    /// arena is tombstoned clause words (values above 1.0 disable GC).
+    pub gc_wasted_ratio: f64,
+    /// Floor of the learnt-clause cap before the first database reduction;
+    /// the cap then grows geometrically. Lowered by tests to exercise
+    /// reduction and GC on small instances.
+    pub reduce_base: usize,
 }
 
 impl Default for SolverConfig {
@@ -53,8 +80,11 @@ impl Default for SolverConfig {
             use_learning: true,
             use_phase_saving: true,
             use_restarts: true,
+            use_recursive_minimization: true,
             restart_base: 128,
             conflict_budget: None,
+            gc_wasted_ratio: 0.25,
+            reduce_base: 1000,
         }
     }
 }
@@ -83,6 +113,33 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses currently kept.
     pub learnts: u64,
+    /// Number of clauses learned over the whole run (the denominator of
+    /// [`SolverStats::mean_learnt_lbd`]).
+    pub learned: u64,
+    /// Sum of learn-time LBD ("glue") over all learned clauses.
+    pub lbd_sum: u64,
+    /// Literals dropped from learnt clauses by conflict-clause minimization.
+    pub minimized_lits: u64,
+    /// Clause-arena garbage collections performed.
+    pub gc_runs: u64,
+    /// Current clause-arena footprint in bytes. A gauge, not a counter:
+    /// summing reports (worker pools, batch jobs) yields the combined
+    /// footprint of all live sessions.
+    pub arena_bytes: u64,
+}
+
+impl SolverStats {
+    /// Mean learn-time LBD over every clause learned so far (0.0 before the
+    /// first conflict). Low means the solver is learning "glue" clauses
+    /// that tightly connect decision levels — the health metric behind the
+    /// tiered clause-database policy.
+    pub fn mean_learnt_lbd(&self) -> f64 {
+        if self.learned == 0 {
+            0.0
+        } else {
+            self.lbd_sum as f64 / self.learned as f64
+        }
+    }
 }
 
 impl std::ops::AddAssign for SolverStats {
@@ -92,6 +149,11 @@ impl std::ops::AddAssign for SolverStats {
         self.propagations += rhs.propagations;
         self.restarts += rhs.restarts;
         self.learnts += rhs.learnts;
+        self.learned += rhs.learned;
+        self.lbd_sum += rhs.lbd_sum;
+        self.minimized_lits += rhs.minimized_lits;
+        self.gc_runs += rhs.gc_runs;
+        self.arena_bytes += rhs.arena_bytes;
     }
 }
 
@@ -125,7 +187,11 @@ impl std::iter::Sum for SolverStats {
 #[derive(Clone, Debug)]
 pub struct Solver {
     config: SolverConfig,
-    clauses: Vec<Clause>,
+    arena: ClauseArena,
+    /// Live original (non-learnt) clauses in the arena.
+    num_originals: usize,
+    /// Live learnt clauses in the arena.
+    num_learnts: usize,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
     polarity: Vec<bool>,
@@ -143,6 +209,19 @@ pub struct Solver {
     model: Vec<LBool>,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
+    /// Reusable buffer holding the clause under construction during
+    /// conflict analysis; reused across conflicts so analysis allocates
+    /// nothing in steady state.
+    learnt_buf: Vec<Lit>,
+    /// Worklist of the recursive redundancy walk ([`Solver::lit_redundant`]).
+    min_stack: Vec<Lit>,
+    /// Every literal whose variable was marked `seen` during minimization,
+    /// so the marks can be undone in O(marks) at the end of analysis.
+    to_clear: Vec<Lit>,
+    /// Per-decision-level stamps backing the O(clause) LBD computation
+    /// (no clearing pass between conflicts).
+    level_stamp: Vec<u64>,
+    lbd_stamp: u64,
     /// Cooperative cancellation: when set, [`Solver::solve`] aborts at the
     /// next conflict/decision boundary with [`SatResult::Unknown`].
     stop: Option<Arc<AtomicBool>>,
@@ -164,7 +243,9 @@ impl Solver {
     pub fn with_config(config: SolverConfig) -> Self {
         Solver {
             config,
-            clauses: Vec::new(),
+            arena: ClauseArena::default(),
+            num_originals: 0,
+            num_learnts: 0,
             watches: Vec::new(),
             assigns: Vec::new(),
             polarity: Vec::new(),
@@ -181,6 +262,11 @@ impl Solver {
             stats: SolverStats::default(),
             model: Vec::new(),
             seen: Vec::new(),
+            learnt_buf: Vec::new(),
+            min_stack: Vec::new(),
+            to_clear: Vec::new(),
+            level_stamp: vec![0],
+            lbd_stamp: 0,
             stop: None,
         }
     }
@@ -211,6 +297,7 @@ impl Solver {
         self.reason.push(None);
         self.level.push(0);
         self.seen.push(false);
+        self.level_stamp.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap.insert(v, &self.activity);
@@ -222,9 +309,10 @@ impl Solver {
         self.assigns.len()
     }
 
-    /// Number of (non-deleted) clauses, including learnt ones.
+    /// Number of live (non-deleted) clauses, including learnt ones. O(1):
+    /// maintained as counters by clause attach/detach.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.deleted).count()
+        self.num_originals + self.num_learnts
     }
 
     /// Run statistics so far.
@@ -254,9 +342,9 @@ impl Solver {
             for &l in &self.trail[..level0] {
                 clauses.push(vec![l]);
             }
-            for c in &self.clauses {
-                if !c.deleted && !c.learnt {
-                    clauses.push(c.lits.clone());
+            for cref in self.arena.refs() {
+                if !self.arena.is_learnt(cref) {
+                    clauses.push(self.arena.lits_vec(cref));
                 }
             }
         }
@@ -312,32 +400,32 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(lits, false);
+                self.attach_clause(&lits, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = ClauseRef(self.clauses.len() as u32);
+        let cref = self.arena.alloc(lits, learnt);
+        if learnt {
+            self.arena.set_lbd(cref, lbd);
+            self.num_learnts += 1;
+            self.stats.learnts += 1;
+        } else {
+            self.num_originals += 1;
+        }
+        let tag = if lits.len() == 2 { BINARY_TAG } else { 0 };
         self.watches[(!lits[0]).index()].push(Watcher {
-            cref,
+            cref: ClauseRef(cref.0 | tag),
             blocker: lits[1],
         });
         self.watches[(!lits[1]).index()].push(Watcher {
-            cref,
+            cref: ClauseRef(cref.0 | tag),
             blocker: lits[0],
         });
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            deleted: false,
-            activity: 0.0,
-        });
-        if learnt {
-            self.stats.learnts += 1;
-        }
+        self.stats.arena_bytes = self.arena.bytes() as u64;
         cref
     }
 
@@ -373,50 +461,84 @@ impl Solver {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            let false_lit = !p;
+            // Detach the watch list while scanning it: saves re-indexing
+            // `watches[p]` on every iteration. Relocated watches always go
+            // to *other* lists — the new watch `lk` is non-false, so `!lk`
+            // can never be the just-falsified `p`.
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
             let mut i = 0;
-            'watchers: while i < self.watches[p.index()].len() {
-                let Watcher { cref, blocker } = self.watches[p.index()][i];
-                if self.value(blocker) == LBool::True {
+            while i < ws.len() {
+                let w = ws[i];
+                let blocker = w.blocker;
+                let bv = self.value(blocker);
+                if bv == LBool::True {
                     i += 1;
                     continue;
                 }
-                // Make sure the false literal is lits[1].
-                let false_lit = !p;
-                {
-                    let c = &mut self.clauses[cref.0 as usize];
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
+                let cref = w.clause();
+                if w.is_binary() {
+                    // Binary clause: the blocker is the only other literal,
+                    // so propagate without loading the clause at all. The
+                    // reason may be left with the implied literal in slot 1
+                    // — consumers normalize via `normalized_reason`.
+                    if bv == LBool::False {
+                        self.qhead = self.trail.len();
+                        self.watches[p.index()] = ws;
+                        return Some(cref);
                     }
-                    debug_assert_eq!(c.lits[1], false_lit);
+                    self.unchecked_enqueue(blocker, Some(cref));
+                    i += 1;
+                    continue;
                 }
-                let first = self.clauses[cref.0 as usize].lits[0];
+                // One arena access decodes the clause length and both
+                // watched literals; slot 1 is then normalized to hold the
+                // false literal.
+                let (len, w0, w1) = {
+                    let words = self.arena.lit_words(cref);
+                    (words.len(), words[0], words[1])
+                };
+                let first = if w0 == false_lit.index() as u32 {
+                    self.arena.swap_lits(cref, 0, 1);
+                    Lit::from_index(w1 as usize)
+                } else {
+                    debug_assert_eq!(w1, false_lit.index() as u32);
+                    Lit::from_index(w0 as usize)
+                };
                 if first != blocker && self.value(first) == LBool::True {
-                    self.watches[p.index()][i].blocker = first;
+                    ws[i].blocker = first;
                     i += 1;
                     continue;
                 }
+                debug_assert!(len > 2, "binary clauses take the tagged fast path");
                 // Look for a new literal to watch.
-                let len = self.clauses[cref.0 as usize].lits.len();
-                for k in 2..len {
-                    let lk = self.clauses[cref.0 as usize].lits[k];
+                let mut new_watch = None;
+                for (k, &lw) in self.arena.lit_words(cref)[2..].iter().enumerate() {
+                    let lk = Lit::from_index(lw as usize);
                     if self.value(lk) != LBool::False {
-                        self.clauses[cref.0 as usize].lits.swap(1, k);
-                        self.watches[p.index()].swap_remove(i);
-                        self.watches[(!lk).index()].push(Watcher {
-                            cref,
-                            blocker: first,
-                        });
-                        continue 'watchers;
+                        new_watch = Some((k + 2, lk));
+                        break;
                     }
+                }
+                if let Some((k, lk)) = new_watch {
+                    self.arena.swap_lits(cref, 1, k);
+                    ws.swap_remove(i);
+                    self.watches[(!lk).index()].push(Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    });
+                    continue;
                 }
                 // Clause is unit or conflicting.
                 if self.value(first) == LBool::False {
                     self.qhead = self.trail.len();
+                    self.watches[p.index()] = ws;
                     return Some(cref);
                 }
                 self.unchecked_enqueue(first, Some(cref));
                 i += 1;
             }
+            self.watches[p.index()] = ws;
         }
         None
     }
@@ -433,38 +555,42 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref.0 as usize];
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for cl in &mut self.clauses {
-                cl.activity *= 1e-20;
-            }
+        let a = self.arena.activity(cref) + self.cla_inc as f32;
+        self.arena.set_activity(cref, a);
+        if a > 1e20 {
+            self.arena.rescale_activities(1e-20);
             self.cla_inc *= 1e-20;
         }
     }
 
-    /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backtrack level.
-    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
-        let mut learnt: Vec<Lit> = vec![Lit::from_index(0)]; // placeholder for UIP
+    /// First-UIP conflict analysis. Leaves the learnt clause in
+    /// `self.learnt_buf` (asserting literal first) and returns the backtrack
+    /// level and the clause's learn-time LBD. Allocation-free in steady
+    /// state: resolution reads antecedents straight out of the arena and
+    /// every scratch buffer is reused across conflicts.
+    fn analyze(&mut self, conflict: ClauseRef) -> (u32, u32) {
+        self.learnt_buf.clear();
+        self.learnt_buf.push(Lit::from_index(0)); // placeholder for UIP
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
         let mut cref = conflict;
+        let dl = self.decision_level();
 
         loop {
             self.bump_clause(cref);
-            let lits = self.clauses[cref.0 as usize].lits.clone();
             let start = usize::from(p.is_some());
-            for &q in &lits[start..] {
+            let len = self.arena.len(cref);
+            for k in start..len {
+                let q = self.arena.lit(cref, k);
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
                     self.bump_var(v);
-                    if self.level[v.index()] >= self.decision_level() {
+                    if self.level[v.index()] >= dl {
                         counter += 1;
                     } else {
-                        learnt.push(q);
+                        self.learnt_buf.push(q);
                     }
                 }
             }
@@ -480,53 +606,150 @@ impl Solver {
             self.seen[lit.var().index()] = false;
             counter -= 1;
             if counter == 0 {
-                learnt[0] = !lit;
+                self.learnt_buf[0] = !lit;
                 break;
             }
-            cref = self.reason[lit.var().index()].expect("non-decision must have a reason");
+            cref = self.normalized_reason(lit.var());
         }
 
-        // Clause minimization: drop literals implied by the rest. `seen` must
-        // be cleared for dropped literals as well, so remember the full tail.
-        let full_tail: Vec<Lit> = learnt[1..].to_vec();
-        let keep: Vec<Lit> = full_tail
-            .iter()
-            .copied()
-            .filter(|&l| !self.is_redundant(l))
-            .collect();
-        learnt.truncate(1);
-        learnt.extend(keep);
+        // Conflict-clause minimization: drop tail literals implied by the
+        // rest of the clause. `to_clear` records every literal whose
+        // variable is marked `seen` — the tail itself plus anything the
+        // recursive probes mark — so all marks can be undone afterwards.
+        self.to_clear.clear();
+        self.to_clear.extend_from_slice(&self.learnt_buf[1..]);
+        let mut abstract_levels = 0u32;
+        for i in 1..self.learnt_buf.len() {
+            abstract_levels |= 1 << (self.level[self.learnt_buf[i].var().index()] & 31);
+        }
+        let before = self.learnt_buf.len();
+        let mut j = 1;
+        for i in 1..self.learnt_buf.len() {
+            let l = self.learnt_buf[i];
+            let redundant = self.reason[l.var().index()].is_some()
+                && if self.config.use_recursive_minimization {
+                    self.lit_redundant(l, abstract_levels)
+                } else {
+                    self.one_step_redundant(l)
+                };
+            if !redundant {
+                self.learnt_buf[j] = l;
+                j += 1;
+            }
+        }
+        self.learnt_buf.truncate(j);
+        self.stats.minimized_lits += (before - j) as u64;
 
         // Find backtrack level: the second-highest level in the clause.
-        let bt_level = if learnt.len() == 1 {
+        let bt_level = if self.learnt_buf.len() == 1 {
             0
         } else {
             let mut max_i = 1;
-            for i in 2..learnt.len() {
-                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+            for i in 2..self.learnt_buf.len() {
+                if self.level[self.learnt_buf[i].var().index()]
+                    > self.level[self.learnt_buf[max_i].var().index()]
+                {
                     max_i = i;
                 }
             }
-            learnt.swap(1, max_i);
-            self.level[learnt[1].var().index()]
+            self.learnt_buf.swap(1, max_i);
+            self.level[self.learnt_buf[1].var().index()]
         };
 
-        self.seen[learnt[0].var().index()] = false;
-        for &l in &full_tail {
-            self.seen[l.var().index()] = false;
+        // LBD must be read off before backtracking invalidates the levels.
+        let lbd = self.current_lbd();
+
+        self.seen[self.learnt_buf[0].var().index()] = false;
+        for i in 0..self.to_clear.len() {
+            let v = self.to_clear[i].var();
+            self.seen[v.index()] = false;
         }
-        (learnt, bt_level)
+        (bt_level, lbd)
     }
 
-    /// A literal is redundant if its reason clause consists only of literals
-    /// already seen (a cheap one-step version of recursive minimization).
-    fn is_redundant(&self, l: Lit) -> bool {
-        let Some(r) = self.reason[l.var().index()] else {
+    /// Number of distinct decision levels among the literals of
+    /// `learnt_buf` — the clause's LBD ("glue"). Uses a stamped per-level
+    /// scratch array: O(clause length), no clearing pass.
+    fn current_lbd(&mut self) -> u32 {
+        self.lbd_stamp += 1;
+        let mut lbd = 0;
+        for i in 0..self.learnt_buf.len() {
+            let lvl = self.level[self.learnt_buf[i].var().index()] as usize;
+            if self.level_stamp[lvl] != self.lbd_stamp {
+                self.level_stamp[lvl] = self.lbd_stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
+    /// The reason clause of `v`, normalized so the implied literal is in
+    /// slot 0. The propagation paths for wide clauses establish that
+    /// invariant eagerly; the binary fast path skips the clause entirely
+    /// and may leave the implied literal in slot 1, so consumers that skip
+    /// slot 0 (resolution, redundancy walks, the locked check) fetch
+    /// reasons through here.
+    fn normalized_reason(&mut self, v: Var) -> ClauseRef {
+        let cref = self.reason[v.index()].expect("non-decision must have a reason");
+        if self.arena.lit(cref, 0).var() != v {
+            debug_assert_eq!(self.arena.len(cref), 2);
+            debug_assert_eq!(self.arena.lit(cref, 1).var(), v);
+            self.arena.swap_lits(cref, 0, 1);
+        }
+        cref
+    }
+
+    /// One-step redundancy: a literal is redundant if its reason clause
+    /// consists only of literals already seen (or fixed at the root).
+    fn one_step_redundant(&mut self, l: Lit) -> bool {
+        if self.reason[l.var().index()].is_none() {
             return false;
-        };
-        self.clauses[r.0 as usize].lits[1..]
-            .iter()
-            .all(|&q| self.seen[q.var().index()] || self.level[q.var().index()] == 0)
+        }
+        let r = self.normalized_reason(l.var());
+        self.arena.lit_words(r)[1..].iter().all(|&w| {
+            let q = Lit::from_index(w as usize);
+            self.seen[q.var().index()] || self.level[q.var().index()] == 0
+        })
+    }
+
+    /// Full recursive redundancy test (MiniSat's `litRedundant`): `l` is
+    /// redundant iff every path through its implication ancestry terminates
+    /// in literals already in the learnt clause or fixed at the root.
+    /// `abstract_levels` is a 32-bit Bloom filter of the clause's decision
+    /// levels — an antecedent on a level outside the filter can never be
+    /// subsumed, which prunes the walk without touching its ancestry.
+    /// Variables proven redundant stay marked in `seen` so later probes
+    /// reuse the result; on failure, the marks this probe added are rolled
+    /// back (everything past `top` in `to_clear`).
+    fn lit_redundant(&mut self, l: Lit, abstract_levels: u32) -> bool {
+        self.min_stack.clear();
+        self.min_stack.push(l);
+        let top = self.to_clear.len();
+        while let Some(p) = self.min_stack.pop() {
+            let cref = self.normalized_reason(p.var());
+            for &w in &self.arena.lit_words(cref)[1..] {
+                let q = Lit::from_index(w as usize);
+                let v = q.var();
+                if self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                if self.reason[v.index()].is_some()
+                    && (1u32 << (self.level[v.index()] & 31)) & abstract_levels != 0
+                {
+                    self.seen[v.index()] = true;
+                    self.min_stack.push(q);
+                    self.to_clear.push(q);
+                } else {
+                    for i in top..self.to_clear.len() {
+                        let u = self.to_clear[i].var();
+                        self.seen[u.index()] = false;
+                    }
+                    self.to_clear.truncate(top);
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     fn backtrack_to(&mut self, level: u32) {
@@ -564,36 +787,88 @@ impl Solver {
         }
     }
 
+    /// True when the clause is the reason of a literal currently on the
+    /// trail. O(1): a reason clause always keeps its implied literal in
+    /// slot 0 (propagation enqueues `lits[0]`, and the watch scan's swaps
+    /// never displace a true `lits[0]`), so it suffices to check that
+    /// variable's reason field.
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let l0 = self.arena.lit(cref, 0);
+        self.reason[l0.var().index()] == Some(cref)
+    }
+
+    /// Learnt-database reduction, glue-tiered: core clauses
+    /// (LBD ≤ [`CORE_LBD`]), binary clauses and locked clauses are kept
+    /// unconditionally; the rest are ranked worst-first by (high LBD, low
+    /// activity) and the worse half tombstoned. The arena GC reclaims the
+    /// tombstoned words once they cross the configured waste ratio.
     fn reduce_learnts(&mut self) {
-        let mut learnt_refs: Vec<usize> = (0..self.clauses.len())
-            .filter(|&i| self.clauses[i].learnt && !self.clauses[i].deleted)
-            .collect();
-        learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let locked: Vec<Option<ClauseRef>> = self.reason.clone();
-        let is_locked = |cref: usize| locked.iter().any(|r| r.map(|c| c.0 as usize) == Some(cref));
-        let remove_count = learnt_refs.len() / 2;
-        for &idx in learnt_refs.iter().take(remove_count) {
-            if self.clauses[idx].lits.len() > 2 && !is_locked(idx) {
-                self.detach_clause(idx);
+        let mut cands: Vec<(u32, f32, ClauseRef)> = Vec::new();
+        for cref in self.arena.refs() {
+            if !self.arena.is_learnt(cref)
+                || self.arena.len(cref) <= 2
+                || self.arena.lbd(cref) <= CORE_LBD
+                || self.is_locked(cref)
+            {
+                continue;
             }
+            cands.push((self.arena.lbd(cref), self.arena.activity(cref), cref));
+        }
+        cands.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.total_cmp(&b.1)));
+        for &(_, _, cref) in cands.iter().take(cands.len() / 2) {
+            self.detach_clause(cref);
+        }
+        self.maybe_gc();
+    }
+
+    fn detach_clause(&mut self, cref: ClauseRef) {
+        let (l0, l1) = (self.arena.lit(cref, 0), self.arena.lit(cref, 1));
+        self.watches[(!l0).index()].retain(|w| w.clause() != cref);
+        self.watches[(!l1).index()].retain(|w| w.clause() != cref);
+        if self.arena.is_learnt(cref) {
+            self.num_learnts -= 1;
+            self.stats.learnts = self.stats.learnts.saturating_sub(1);
+        } else {
+            self.num_originals -= 1;
+        }
+        self.arena.delete(cref);
+    }
+
+    /// Runs the arena garbage collector if the tombstoned fraction of the
+    /// arena exceeds [`SolverConfig::gc_wasted_ratio`].
+    fn maybe_gc(&mut self) {
+        let total = self.arena.total_words();
+        if total == 0 {
+            return;
+        }
+        if (self.arena.wasted_words() as f64) >= self.config.gc_wasted_ratio * total as f64 {
+            self.collect_garbage();
         }
     }
 
-    fn detach_clause(&mut self, idx: usize) {
-        let cref = ClauseRef(idx as u32);
-        let (l0, l1) = {
-            let c = &self.clauses[idx];
-            (c.lits[0], c.lits[1])
-        };
-        self.watches[(!l0).index()].retain(|w| w.cref != cref);
-        self.watches[(!l1).index()].retain(|w| w.cref != cref);
-        self.clauses[idx].deleted = true;
-        self.stats.learnts = self.stats.learnts.saturating_sub(1);
+    /// Compacts the clause arena: drops every tombstoned clause and remaps
+    /// the watcher lists and trail reasons onto the moved clauses. Runs
+    /// automatically after database reductions once the wasted fraction
+    /// crosses [`SolverConfig::gc_wasted_ratio`]; public so long-lived
+    /// incremental sessions can force a compaction at a quiet point of
+    /// their own choosing. A no-op when nothing is tombstoned.
+    pub fn collect_garbage(&mut self) {
+        if self.arena.wasted_words() == 0 {
+            return;
+        }
+        let compacted = self.arena.begin_gc();
+        for ws in &mut self.watches {
+            for w in ws {
+                let tag = w.cref.0 & BINARY_TAG;
+                w.cref = ClauseRef(self.arena.forward(w.clause()).0 | tag);
+            }
+        }
+        for cref in self.reason.iter_mut().flatten() {
+            *cref = self.arena.forward(*cref);
+        }
+        self.arena.finish_gc(compacted);
+        self.stats.gc_runs += 1;
+        self.stats.arena_bytes = self.arena.bytes() as u64;
     }
 
     /// Solves under the given assumption literals.
@@ -613,10 +888,13 @@ impl Solver {
         let mut conflicts_until_restart = self.restart_interval(0);
         let mut restart_count = 0u64;
         let mut conflicts_this_solve = 0u64;
-        let mut max_learnts = (self.clauses.len() / 3).max(1000) as u64;
+        let mut max_learnts = (self.num_clauses() / 3).max(self.config.reduce_base) as u64;
 
+        // Every exit path backtracks to the root so the solver is
+        // immediately reusable for add_clause/solve (incremental solving).
         loop {
             if self.stop_requested() {
+                self.backtrack_to(0);
                 return SatResult::Unknown;
             }
             if let Some(conflict) = self.propagate() {
@@ -627,13 +905,18 @@ impl Solver {
                     return SatResult::Unsat;
                 }
                 if self.config.use_learning {
-                    let (learnt, bt) = self.analyze(conflict);
+                    let (bt, lbd) = self.analyze(conflict);
                     self.backtrack_to(bt);
-                    if learnt.len() == 1 {
-                        self.unchecked_enqueue(learnt[0], None);
+                    self.stats.learned += 1;
+                    self.stats.lbd_sum += u64::from(lbd);
+                    if self.learnt_buf.len() == 1 {
+                        let l = self.learnt_buf[0];
+                        self.unchecked_enqueue(l, None);
                     } else {
-                        let cref = self.attach_clause(learnt.clone(), true);
-                        self.unchecked_enqueue(learnt[0], Some(cref));
+                        let buf = std::mem::take(&mut self.learnt_buf);
+                        let cref = self.attach_clause(&buf, true, lbd);
+                        self.unchecked_enqueue(buf[0], Some(cref));
+                        self.learnt_buf = buf;
                     }
                     self.var_inc /= 0.95;
                     self.cla_inc /= 0.999;
@@ -653,6 +936,7 @@ impl Solver {
                 }
                 if let Some(budget) = self.config.conflict_budget {
                     if conflicts_this_solve >= budget {
+                        self.backtrack_to(0);
                         return SatResult::Unknown;
                     }
                 }
@@ -676,7 +960,10 @@ impl Solver {
                             // Already implied; open a dummy level to keep indices aligned.
                             self.trail_lim.push(self.trail.len());
                         }
-                        LBool::False => return SatResult::Unsat,
+                        LBool::False => {
+                            self.backtrack_to(0);
+                            return SatResult::Unsat;
+                        }
                         LBool::Undef => {
                             self.trail_lim.push(self.trail.len());
                             self.unchecked_enqueue(a, None);
@@ -753,6 +1040,25 @@ mod tests {
         Lit::new(Var(v as u32), pos)
     }
 
+    /// Pigeonhole principle PHP(p, h): each pigeon in some hole, no two
+    /// pigeons share a hole. Unsatisfiable whenever `p > h`.
+    fn add_php(s: &mut Solver, pigeons: usize, holes: usize) {
+        let p = |s: &mut Solver, pigeon: usize, hole: usize| lit(s, pigeon * holes + hole, true);
+        for pigeon in 0..pigeons {
+            let c: Vec<Lit> = (0..holes).map(|h| p(s, pigeon, h)).collect();
+            s.add_clause(c);
+        }
+        for hole in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    let a = p(s, p1, hole);
+                    let b = p(s, p2, hole);
+                    s.add_clause([!a, !b]);
+                }
+            }
+        }
+    }
+
     #[test]
     fn luby_sequence_prefix() {
         let seq: Vec<u64> = (1..=15).map(luby).collect();
@@ -819,22 +1125,8 @@ mod tests {
 
     #[test]
     fn pigeonhole_4_into_3_unsat() {
-        // Classic PHP(4,3): each pigeon in some hole, no two share a hole.
         let mut s = Solver::new();
-        let p = |s: &mut Solver, pigeon: usize, hole: usize| lit(s, pigeon * 3 + hole, true);
-        for pigeon in 0..4 {
-            let c: Vec<Lit> = (0..3).map(|h| p(&mut s, pigeon, h)).collect();
-            s.add_clause(c);
-        }
-        for hole in 0..3 {
-            for p1 in 0..4 {
-                for p2 in (p1 + 1)..4 {
-                    let a = p(&mut s, p1, hole);
-                    let b = p(&mut s, p2, hole);
-                    s.add_clause([!a, !b]);
-                }
-            }
-        }
+        add_php(&mut s, 4, 3);
         assert_eq!(s.solve(&[]), SatResult::Unsat);
     }
 
@@ -843,20 +1135,7 @@ mod tests {
         // PHP(6,5) is hard enough that the loop runs many iterations; with
         // the flag pre-raised the solver must bail out immediately.
         let mut s = Solver::new();
-        let p = |s: &mut Solver, pigeon: usize, hole: usize| lit(s, pigeon * 5 + hole, true);
-        for pigeon in 0..6 {
-            let c: Vec<Lit> = (0..5).map(|h| p(&mut s, pigeon, h)).collect();
-            s.add_clause(c);
-        }
-        for hole in 0..5 {
-            for p1 in 0..6 {
-                for p2 in (p1 + 1)..6 {
-                    let a = p(&mut s, p1, hole);
-                    let b = p(&mut s, p2, hole);
-                    s.add_clause([!a, !b]);
-                }
-            }
-        }
+        add_php(&mut s, 6, 5);
         let flag = Arc::new(AtomicBool::new(true));
         s.set_stop_flag(flag.clone());
         assert_eq!(s.solve(&[]), SatResult::Unknown);
@@ -873,11 +1152,107 @@ mod tests {
             propagations: 3,
             restarts: 4,
             learnts: 5,
+            learned: 6,
+            lbd_sum: 12,
+            minimized_lits: 7,
+            gc_runs: 1,
+            arena_bytes: 256,
         };
         let total: SolverStats = [a, a].into_iter().sum();
         assert_eq!(total.conflicts, 2);
         assert_eq!(total.propagations, 6);
         assert_eq!(total.learnts, 10);
+        assert_eq!(total.minimized_lits, 14);
+        assert_eq!(total.gc_runs, 2);
+        assert_eq!(total.arena_bytes, 512);
+        assert!((a.mean_learnt_lbd() - 2.0).abs() < 1e-12);
+        assert_eq!(SolverStats::default().mean_learnt_lbd(), 0.0);
+    }
+
+    #[test]
+    fn learn_time_stats_populated() {
+        let mut s = Solver::new();
+        add_php(&mut s, 5, 4);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        let st = s.stats();
+        assert!(st.learned > 0, "PHP(5,4) must learn clauses");
+        assert!(st.lbd_sum >= st.learned, "every learnt clause has LBD >= 1");
+        assert!(st.mean_learnt_lbd() >= 1.0);
+        assert!(st.arena_bytes > 0);
+    }
+
+    #[test]
+    fn num_clauses_is_maintained_incrementally() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        let b = lit(&mut s, 1, true);
+        let c = lit(&mut s, 2, true);
+        assert_eq!(s.num_clauses(), 0);
+        s.add_clause([a, b]);
+        s.add_clause([!a, c]);
+        assert_eq!(s.num_clauses(), 2);
+        // Units go straight onto the trail, tautologies are dropped, and
+        // satisfied clauses are never stored: the count must not change.
+        s.add_clause([b, !b]);
+        s.add_clause([c]);
+        s.add_clause([c, a]);
+        assert_eq!(s.num_clauses(), 2);
+    }
+
+    #[test]
+    fn gc_bounds_arena_memory() {
+        // The same hard instance solved twice: with the GC at its default
+        // trigger ratio and with the GC disabled. Both solvers search
+        // identically (compaction only renames clause references), but only
+        // the collected arena stays bounded — without GC the tombstones of
+        // every database reduction accumulate forever.
+        let run = |gc_wasted_ratio: f64| {
+            let mut s = Solver::with_config(SolverConfig {
+                reduce_base: 20,
+                gc_wasted_ratio,
+                ..SolverConfig::default()
+            });
+            add_php(&mut s, 7, 6);
+            assert_eq!(s.solve(&[]), SatResult::Unsat);
+            s.stats()
+        };
+        let gc = run(0.25);
+        let no_gc = run(2.0);
+        assert_eq!(
+            gc.conflicts, no_gc.conflicts,
+            "GC must not perturb the search"
+        );
+        assert!(gc.gc_runs > 0, "the reduced database must trigger GCs");
+        assert_eq!(no_gc.gc_runs, 0);
+        assert!(
+            gc.arena_bytes < no_gc.arena_bytes,
+            "collected arena ({} B) must stay below the monotonically \
+             growing uncollected one ({} B)",
+            gc.arena_bytes,
+            no_gc.arena_bytes
+        );
+    }
+
+    #[test]
+    fn explicit_gc_compacts_and_preserves_state() {
+        // Force learnt-clause deletions with a tiny reduction cap, compact
+        // explicitly, and check the solver still answers afterwards.
+        let mut s = Solver::with_config(SolverConfig {
+            reduce_base: 20,
+            gc_wasted_ratio: 2.0, // no automatic GC; collect_garbage() only
+            ..SolverConfig::default()
+        });
+        add_php(&mut s, 7, 6);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        let before = s.stats().arena_bytes;
+        assert_eq!(s.stats().gc_runs, 0);
+        s.collect_garbage();
+        assert_eq!(s.stats().gc_runs, 1, "reductions left garbage to collect");
+        assert!(
+            s.stats().arena_bytes < before,
+            "compaction must shrink the arena"
+        );
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
     }
 
     #[test]
@@ -911,16 +1286,19 @@ mod tests {
                     .iter()
                     .all(|c| c.iter().any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos))
             });
-            for (vsids, learning, restarts) in [
-                (true, true, true),
-                (false, true, false),
-                (true, false, false),
-                (false, false, false),
+            for (vsids, learning, restarts, recursive) in [
+                (true, true, true, true),
+                (true, true, true, false),
+                (false, true, false, true),
+                (false, true, false, false),
+                (true, false, false, true),
+                (false, false, false, false),
             ] {
                 let mut s = Solver::with_config(SolverConfig {
                     use_vsids: vsids,
                     use_learning: learning,
                     use_restarts: restarts,
+                    use_recursive_minimization: recursive,
                     ..SolverConfig::default()
                 });
                 for _ in 0..n {
@@ -941,7 +1319,7 @@ mod tests {
                 };
                 assert_eq!(
                     got, expect,
-                    "round {round} config {vsids}/{learning}/{restarts}"
+                    "round {round} config {vsids}/{learning}/{restarts}/{recursive}"
                 );
                 if got == SatResult::Sat {
                     // Verify the model actually satisfies the clauses.

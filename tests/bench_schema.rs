@@ -12,7 +12,9 @@ use veriqec::engine::{Engine, EngineConfig, Job};
 use veriqec::scenario::{faulty_memory_scenario, ErrorModel};
 use veriqec_bench::json::Json;
 use veriqec_bench::kernels::{KernelsReport, Metric};
+use veriqec_bench::solver_bench::{SolverMetric, SolverReport};
 use veriqec_codes::{five_qubit, repetition, steane};
+use veriqec_sat::SolverStats;
 
 /// Every engine batch shares this envelope.
 fn check_envelope(doc: &Json) -> Vec<Json> {
@@ -25,6 +27,12 @@ fn check_envelope(doc: &Json) -> Vec<Json> {
         assert!(job.get("outcome").unwrap().as_str().is_some());
         assert!(job.get("busy_ms").unwrap().as_f64().unwrap() >= 0.0);
         assert!(job.get("subtasks").unwrap().as_f64().unwrap() >= 0.0);
+        // Solver-statistics block: the clause-database counters added with
+        // the arena rewrite ride along on every job.
+        assert!(job.get("minimized_lits").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(job.get("gc_runs").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(job.get("arena_bytes").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(job.get("mean_lbd").unwrap().as_f64().unwrap() >= 0.0);
     }
     jobs.to_vec()
 }
@@ -143,4 +151,56 @@ fn kernels_report_matches_the_gate_schema() {
     names.sort_unstable();
     names.dedup();
     assert_eq!(names.len(), metrics.len());
+}
+
+#[test]
+fn solver_report_matches_the_gate_schema() {
+    // The writer `tables solver` uses, on a representative instance — the
+    // measurement itself is covered by the crate's own tests; this pins the
+    // artifact schema that `bench_baselines.json` and the CI solver gate
+    // join against.
+    let report = SolverReport {
+        quick: true,
+        metrics: vec![SolverMetric {
+            name: "php_7_6".into(),
+            verdict: "unsat".into(),
+            wall_ms: 3.2,
+            stats: SolverStats {
+                propagations: 120_000,
+                conflicts: 4_000,
+                learned: 4_000,
+                lbd_sum: 20_000,
+                ..SolverStats::default()
+            },
+        }],
+        props_per_sec: 3.75e7,
+        conflicts_per_sec: 1.25e6,
+    };
+    let doc = Json::parse(&report.to_json()).expect("solver report is valid JSON");
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("veriqec_solver_v1")
+    );
+    assert_eq!(doc.get("quick").unwrap().as_bool(), Some(true));
+    assert!(doc.get("props_per_sec").unwrap().as_f64().unwrap() > 0.0);
+    assert!(doc.get("conflicts_per_sec").unwrap().as_f64().unwrap() > 0.0);
+    let instances = doc.get("instances").unwrap().as_arr().unwrap();
+    assert!(!instances.is_empty());
+    for m in instances {
+        // The gate's join key plus the fields plotting scripts consume.
+        assert!(m.get("name").unwrap().as_str().is_some());
+        assert!(m.get("verdict").unwrap().as_str().is_some());
+        assert!(m.get("wall_ms").unwrap().as_f64().unwrap() > 0.0);
+        assert!(m.get("propagations").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(m.get("conflicts").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(m.get("props_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        assert!(m.get("mean_lbd").unwrap().as_f64().unwrap() >= 0.0);
+    }
+    let mut names: Vec<&str> = instances
+        .iter()
+        .map(|m| m.get("name").unwrap().as_str().unwrap())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), instances.len());
 }
