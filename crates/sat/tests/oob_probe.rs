@@ -1,0 +1,13 @@
+use veriqec_sat::{Lit, SatResult, Solver, Var};
+
+#[test]
+fn duplicate_assumptions_deep_levels() {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+    let l = |v: usize, pos: bool| Lit::new(vars[v], pos);
+    s.add_clause([l(1, true), l(2, true), l(3, true)]);
+    s.add_clause([l(1, true), l(2, true), !l(3, true)]);
+    let a = l(0, true);
+    let r = s.solve(&[a, a, a]);
+    assert_ne!(r, SatResult::Unknown);
+}
