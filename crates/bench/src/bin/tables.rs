@@ -1,7 +1,7 @@
 //! Regenerates the paper's evaluation tables/figure data as markdown (plus
 //! machine-readable JSON batch reports from the engine).
 //!
-//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|enumerators|fault_tolerance|kernels|solver|quick|all] [max_d]`
+//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|enumerators|fault_tolerance|kernels|solver|dd|quick|all] [max_d]`
 //!
 //! `quick` is the CI smoke mode: a small heterogeneous batch (correction +
 //! detection + distance jobs on small codes) through the engine's shared
@@ -18,7 +18,9 @@
 //! resolution, batch-vs-sequential frame sampling) and writes
 //! `BENCH_kernels.json`. `solver` measures CDCL throughput
 //! (propagations/sec, conflicts/sec) on pinned pure-SAT and zoo instances
-//! and writes `BENCH_solver.json`. Both take `--quick` for the CI subset
+//! and writes `BENCH_solver.json`. `dd` measures decision-diagram
+//! compile-and-count sessions on pinned codes (coefficients re-asserted)
+//! and writes `BENCH_dd.json`. All three take `--quick` for the CI subset
 //! and `--check <baseline.json>` to gate against a checked-in baseline —
 //! the process exits nonzero if any median regresses beyond the tolerance
 //! or a throughput floor is violated.
@@ -77,6 +79,12 @@ fn main() {
         let quick = std::env::args().any(|a| a == "--quick");
         let baseline = std::env::args().skip_while(|a| a != "--check").nth(1);
         solver(quick, baseline.as_deref());
+        return;
+    }
+    if what == "dd" {
+        let quick = std::env::args().any(|a| a == "--quick");
+        let baseline = std::env::args().skip_while(|a| a != "--check").nth(1);
+        dd(quick, baseline.as_deref());
         return;
     }
     if what == "all" || what == "fig4" {
@@ -215,6 +223,58 @@ fn solver(quick: bool, baseline: Option<&str>) {
             std::process::exit(1);
         }
         println!("all solver instances within tolerance of {path}");
+    }
+}
+
+/// `tables dd [--quick] [--check <baseline.json>]`: measures full
+/// compile-and-count sessions of the decision-diagram backend on the
+/// pinned codes (coefficients re-asserted every run, carbon \[\[12,2,4\]\]
+/// bit-for-bit), writes `BENCH_dd.json`, and — with `--check` — gates wall
+/// time and peak live nodes against the checked-in baseline's `dd_metrics`
+/// section, exiting nonzero on any hard regression.
+fn dd(quick: bool, baseline: Option<&str>) {
+    use veriqec_bench::dd_bench::{check_dd_baseline, run_dd_bench};
+    use veriqec_bench::json::Json;
+
+    println!(
+        "\n### Decision-diagram compile benchmarks{}\n",
+        if quick { " (quick)" } else { "" }
+    );
+    let report = run_dd_bench(quick);
+    println!("| code | wall ms | allocs | peak live | final | hit rate | gc runs | swaps |");
+    println!("|------|---------|--------|-----------|-------|----------|---------|-------|");
+    for m in &report.metrics {
+        println!(
+            "| {} | {:.2} | {} | {} | {} | {:.2} | {} | {} |",
+            m.name,
+            m.wall_ms,
+            m.stats.nodes,
+            m.stats.peak_nodes,
+            m.final_nodes,
+            m.stats.cache_hit_rate(),
+            m.stats.gc_runs,
+            m.stats.reorder_swaps,
+        );
+    }
+    let artifact = "BENCH_dd.json";
+    std::fs::write(artifact, report.to_json()).expect("artifact writable");
+    println!("\ndd report written to {artifact}");
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("bad baseline {path}: {e}"));
+        let regressions = check_dd_baseline(&report, &doc);
+        if !regressions.is_empty() {
+            eprintln!(
+                "error: {} dd regression(s) against {path}:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  - {}", r.0);
+            }
+            std::process::exit(1);
+        }
+        println!("all dd codes within tolerance of {path}");
     }
 }
 

@@ -14,6 +14,7 @@ use veriqec::tasks::build_problem;
 use veriqec_codes::{rotated_surface, StabilizerCode};
 use veriqec_vcgen::VcProblem;
 
+pub mod dd_bench;
 pub mod json;
 pub mod kernels;
 pub mod solver_bench;

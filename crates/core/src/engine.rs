@@ -669,11 +669,17 @@ impl BatchReport {
     /// Renders the batch as a markdown table.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
-        out.push_str("| job | outcome | subtasks | busy | conflicts | decisions | mean LBD |\n");
-        out.push_str("|-----|---------|----------|------|-----------|-----------|----------|\n");
+        out.push_str(
+            "| job | outcome | subtasks | busy | conflicts | decisions | mean LBD \
+             | dd nodes | dd hit% | dd gc | dd swaps |\n",
+        );
+        out.push_str(
+            "|-----|---------|----------|------|-----------|-----------|----------\
+             |----------|---------|-------|----------|\n",
+        );
         for j in &self.jobs {
             out.push_str(&format!(
-                "| {} | {} | {} | {:?} | {} | {} | {:.2} |\n",
+                "| {} | {} | {} | {:?} | {} | {} | {:.2} | {} | {:.1} | {} | {} |\n",
                 j.name,
                 j.outcome.tag(),
                 j.subtasks,
@@ -681,6 +687,10 @@ impl BatchReport {
                 j.stats.conflicts,
                 j.stats.decisions,
                 j.stats.mean_learnt_lbd(),
+                j.dd.nodes,
+                j.dd.cache_hit_rate() * 100.0,
+                j.dd.gc_runs,
+                j.dd.reorder_swaps,
             ));
         }
         out.push_str(&format!(
@@ -772,8 +782,18 @@ impl BatchReport {
             ));
             if j.dd != DdStats::default() {
                 out.push_str(&format!(
-                    ",\"dd_nodes\":{},\"dd_cache_hits\":{}",
-                    j.dd.nodes, j.dd.cache_hits
+                    ",\"dd_nodes\":{},\"dd_peak_nodes\":{},\"dd_cache_lookups\":{},\"dd_cache_hits\":{}",
+                    j.dd.nodes, j.dd.peak_nodes, j.dd.cache_lookups, j.dd.cache_hits
+                ));
+                out.push_str(&format!(
+                    ",\"dd_hit_rate\":{:.4},\"dd_probe_len\":{:.3},\"dd_load_factor\":{:.4}",
+                    j.dd.cache_hit_rate(),
+                    j.dd.unique_probe_length(),
+                    j.dd.unique_load_factor(),
+                ));
+                out.push_str(&format!(
+                    ",\"dd_gc_runs\":{},\"dd_gc_reclaimed\":{},\"dd_reorder_swaps\":{},\"dd_arena_bytes\":{}",
+                    j.dd.gc_runs, j.dd.gc_reclaimed, j.dd.reorder_swaps, j.dd.arena_bytes
                 ));
             }
             out.push('}');

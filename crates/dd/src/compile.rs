@@ -1,4 +1,5 @@
-//! CNF → BDD compilation with variable-ordering heuristics.
+//! CNF → BDD compilation with variable-ordering heuristics, garbage
+//! collection, and growth-triggered dynamic reordering.
 //!
 //! The compiler consumes the SAT layer's clausal form
 //! ([`veriqec_sat::Cnf`]), picks a variable order (the dominant cost factor
@@ -6,16 +7,24 @@
 //! conjoins them in input order; [`compile_cnf_projected`] additionally
 //! eliminates designated auxiliary variables the moment their last clause
 //! lands (bucket elimination), which is what keeps dense instances within
-//! reach. The budget (node limit, stop flag) is checked between conjunction
-//! steps — the same cooperative cancellation discipline as the CDCL
-//! solver's conflict-boundary polling, at clause granularity.
+//! reach.
+//!
+//! The budget (node limit, stop flags) is polled *inside* every
+//! conjunction and quantification, every [`CompileConfig::poll_interval`]
+//! node allocations — a single runaway apply can no longer overshoot the
+//! limit by more than one poll interval (the old clause-granularity blind
+//! spot). Between conjunctions the compiler may run a mark-and-sweep
+//! collection (when the dead-node share passes
+//! [`CompileConfig::gc_dead_ratio`]) and a sifting pass (when the diagram
+//! outgrows the [`ReorderConfig`] trigger), both invisible to the counts.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use veriqec_sat::{Cnf, Lit};
 
-use crate::bdd::{Bdd, BddManager};
+use crate::bdd::{Bdd, BddManager, OpBudget};
+use crate::reorder::ReorderConfig;
 
 /// Variable-ordering heuristics for [`compile_cnf`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -39,7 +48,7 @@ pub enum OrderHeuristic {
     Force,
 }
 
-/// Budget and ordering knobs for [`compile_cnf`].
+/// Budget, ordering, and memory-management knobs for [`compile_cnf`].
 #[derive(Clone, Debug)]
 pub struct CompileConfig {
     /// Variable-ordering heuristic.
@@ -51,8 +60,18 @@ pub struct CompileConfig {
     /// Cooperative cancellation: compilation aborts when *any* of these
     /// flags is raised, so callers and drivers (e.g. the engine's per-job
     /// cancel flag) can layer their flags without displacing each other.
-    /// Polled between clause conjunctions.
+    /// Polled inside apply/exists every [`CompileConfig::poll_interval`]
+    /// node allocations.
     pub stop_flags: Vec<Arc<AtomicBool>>,
+    /// Node allocations between budget polls inside a single conjunction
+    /// or quantification; the node limit can overshoot by at most this.
+    pub poll_interval: u64,
+    /// Run a garbage collection between conjunctions when at least this
+    /// share of the arena is dead (`None` disables GC; the final diagram
+    /// is then left uncompacted).
+    pub gc_dead_ratio: Option<f64>,
+    /// Growth-triggered sifting reordering (`None` disables it).
+    pub reorder: Option<ReorderConfig>,
 }
 
 impl Default for CompileConfig {
@@ -62,6 +81,9 @@ impl Default for CompileConfig {
             force_iterations: 4,
             node_limit: None,
             stop_flags: Vec::new(),
+            poll_interval: 1024,
+            gc_dead_ratio: Some(0.5),
+            reorder: Some(ReorderConfig::default()),
         }
     }
 }
@@ -180,8 +202,8 @@ fn force_order(cnf: &Cnf, iterations: usize) -> Vec<u32> {
 /// # Errors
 ///
 /// Returns [`CompileError::NodeLimit`] / [`CompileError::Cancelled`] when
-/// the budget in `config` is exhausted; the budget is polled between clause
-/// conjunctions.
+/// the budget in `config` is exhausted; the budget is polled inside each
+/// conjunction every [`CompileConfig::poll_interval`] allocations.
 pub fn compile_cnf(cnf: &Cnf, config: &CompileConfig) -> Result<CompiledCnf, CompileError> {
     let order = variable_order(cnf, config.order, config.force_iterations);
     compile_cnf_with_order(cnf, order, config)
@@ -189,6 +211,10 @@ pub fn compile_cnf(cnf: &Cnf, config: &CompileConfig) -> Result<CompiledCnf, Com
 
 /// Compiles with an explicit `var → level` order (the hook for callers that
 /// know their instance's structure better than the heuristics).
+///
+/// # Errors
+///
+/// Propagates budget exhaustion exactly like [`compile_cnf`].
 pub fn compile_cnf_with_order(
     cnf: &Cnf,
     var_to_level: Vec<u32>,
@@ -223,6 +249,10 @@ pub fn compile_cnf_projected(
     compile_projected_with_order(cnf, order, Some(keep), config)
 }
 
+/// Arena size below which the compiler never bothers collecting or
+/// compacting: the bookkeeping would cost more than the memory it frees.
+const GC_MIN_NODES: usize = 1 << 14;
+
 fn compile_projected_with_order(
     cnf: &Cnf,
     var_to_level: Vec<u32>,
@@ -230,6 +260,11 @@ fn compile_projected_with_order(
     config: &CompileConfig,
 ) -> Result<CompiledCnf, CompileError> {
     let mut manager = BddManager::with_order(var_to_level);
+    let budget = OpBudget {
+        node_limit: config.node_limit,
+        stop_flags: &config.stop_flags,
+        poll_every: config.poll_interval.max(1),
+    };
     // Last clause index mentioning each eliminable variable; `usize::MAX`
     // marks kept (or unused) variables.
     let mut last_use = vec![usize::MAX; cnf.num_vars];
@@ -243,33 +278,64 @@ fn compile_projected_with_order(
             last_use[v] = usize::MAX;
         }
     }
+    // The evolving conjunction is the compiler's only GC root: collections
+    // between conjunctions sweep the dead intermediate diagrams that each
+    // `and`/`exists` strands in the arena.
+    let mut root = Bdd::TRUE;
+    let root_id = manager.protect(root);
+    let mut gc_check_at = GC_MIN_NODES;
+    let mut swap_budget = config.reorder.as_ref().map_or(0, |rc| rc.swap_budget);
+    let mut reorder_at = config.reorder.as_ref().map(|rc| rc.trigger_nodes);
     // One linear-sized BDD per clause, conjoined in input order: the SAT
     // layer's export lists root units first and then clauses in assertion
     // order, so definitionally-related clauses (one Tseitin chain, one
     // totalizer merge) arrive adjacently — measured across the code zoo
     // this beats any span-sorted schedule.
-    let mut root = Bdd::TRUE;
     for (ci, clause) in cnf.clauses.iter().enumerate() {
         check_budget(&manager, config)?;
         let f = clause_bdd(&mut manager, clause);
-        root = manager.and(root, f);
+        root = manager.and_budgeted(root, f, &budget)?;
         if root == Bdd::FALSE {
             break; // contradiction: no later clause can resurrect it
         }
         for l in clause {
             let v = l.var().index();
             if last_use[v] == ci {
-                root = manager.exists(root, v);
+                root = manager.exists_budgeted(root, v, &budget)?;
                 last_use[v] = usize::MAX; // a variable may repeat in-clause
             }
         }
+        manager.update_root(root_id, root);
+        if let Some(ratio) = config.gc_dead_ratio {
+            if manager.node_count() >= gc_check_at {
+                manager.collect_if_worthwhile(ratio);
+                root = manager.root(root_id);
+                // Geometric back-off so the mark pass stays a vanishing
+                // fraction of compile time whatever the dead ratio does.
+                gc_check_at = (manager.node_count() * 3 / 2).max(GC_MIN_NODES);
+            }
+        }
+        if let (Some(rc), Some(at)) = (&config.reorder, reorder_at) {
+            if swap_budget > 0 && manager.node_count() >= at {
+                let outcome = manager.reorder_sift(rc, &config.stop_flags, &mut swap_budget)?;
+                root = manager.root(root_id);
+                gc_check_at = (manager.node_count() * 3 / 2).max(GC_MIN_NODES);
+                reorder_at =
+                    Some(((outcome.nodes_after as f64 * rc.growth) as usize).max(rc.trigger_nodes));
+            }
+        }
     }
-    // The per-clause poll above cannot see a breach caused by the *final*
-    // conjunction (or a single-clause formula at all); enforce the budget
-    // on the finished diagram too. A single step may still overshoot the
-    // node limit before the breach is reported — the budget is a clause-
-    // granularity safety valve, not a hard allocation cap.
+    // Clause construction (`clause_bdd`) and terminal-case conjunctions
+    // allocate outside any budgeted traversal; enforce the budget on the
+    // finished diagram so even a single-clause formula reports its breach.
     check_budget(&manager, config)?;
+    // Hand back a compact arena: counting allocates memo space per arena
+    // slot, so sweeping the construction garbage pays for itself.
+    if config.gc_dead_ratio.is_some() && manager.node_count() >= GC_MIN_NODES {
+        manager.collect_garbage();
+        root = manager.root(root_id);
+    }
+    manager.unprotect(root_id);
     Ok(CompiledCnf { manager, root })
 }
 
@@ -403,6 +469,49 @@ mod tests {
     }
 
     #[test]
+    fn node_limit_trips_inside_a_single_conjunction() {
+        // Two clauses over disjoint halves of 8000 variables: their clause
+        // BDDs are cheap chains, but the one conjunction joining them
+        // allocates ~8000 fresh nodes. The old clause-boundary poll only
+        // noticed after the whole apply finished; the in-apply poll must
+        // stop within one poll interval of the limit.
+        let n = 8000usize;
+        let mut text = format!("p cnf {n} 2\n");
+        for v in (1..=n).step_by(2) {
+            text.push_str(&format!("{v} "));
+        }
+        text.push_str("0\n");
+        for v in (2..=n).step_by(2) {
+            text.push_str(&format!("{v} "));
+        }
+        text.push_str("0\n");
+        let parsed = cnf(&text);
+        let limit = n + 2000; // both clause chains fit; the conjunction doesn't
+        let poll = 64u64;
+        let err = compile_cnf(
+            &parsed,
+            &CompileConfig {
+                node_limit: Some(limit),
+                poll_interval: poll,
+                order: OrderHeuristic::Natural,
+                ..CompileConfig::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            CompileError::NodeLimit { nodes } => {
+                assert!(nodes > limit, "{nodes} vs {limit}");
+                assert!(
+                    nodes <= limit + poll as usize + 8,
+                    "in-apply polling must trip near the limit: \
+                     {nodes} nodes vs limit {limit} (poll {poll})"
+                );
+            }
+            other => panic!("expected NodeLimit, got {other}"),
+        }
+    }
+
+    #[test]
     fn cancellation_aborts() {
         let parsed = cnf("p cnf 2 2\n1 2 0\n-1 2 0\n");
         let stop = Arc::new(AtomicBool::new(true));
@@ -444,6 +553,47 @@ mod tests {
         assert_eq!(
             compiled.manager.weight_count_over(compiled.root, &[0], &[]),
             vec![2]
+        );
+    }
+
+    #[test]
+    fn gc_and_reordering_are_invisible_to_counts() {
+        // A parity ladder with Tseitin-style clauses, compiled with
+        // aggressive GC + sifting vs. with both disabled: identical counts.
+        let mut text = String::from("p cnf 24 24\n");
+        for v in 1..=23 {
+            text.push_str(&format!("{} {} 0\n{} -{} 0\n", v, v + 1, -v, v + 1));
+        }
+        let parsed = cnf(&text);
+        let eager = CompileConfig {
+            gc_dead_ratio: Some(0.0),
+            reorder: Some(ReorderConfig {
+                trigger_nodes: 1,
+                min_level_size: 1,
+                ..ReorderConfig::default()
+            }),
+            ..CompileConfig::default()
+        };
+        let plain = CompileConfig {
+            gc_dead_ratio: None,
+            reorder: None,
+            ..CompileConfig::default()
+        };
+        let keep: Vec<usize> = (0..6).collect();
+        let a = compile_cnf_projected(&parsed, &keep, &eager).unwrap();
+        let b = compile_cnf_projected(&parsed, &keep, &plain).unwrap();
+        let wa = a
+            .manager
+            .weight_count_over(a.root, &keep, &[(0, true), (3, false)]);
+        let wb = b
+            .manager
+            .weight_count_over(b.root, &keep, &[(0, true), (3, false)]);
+        assert_eq!(wa, wb);
+        let fa = compile_cnf(&parsed, &eager).unwrap();
+        let fb = compile_cnf(&parsed, &plain).unwrap();
+        assert_eq!(
+            fa.manager.model_count(fa.root),
+            fb.manager.model_count(fb.root)
         );
     }
 

@@ -32,14 +32,19 @@
 //! assert_eq!(by_weight, vec![0, 3, 2]);
 //! ```
 
+mod arena;
 mod bdd;
+mod cache;
 mod compile;
+pub mod oracle;
+mod reorder;
 
-pub use bdd::{Bdd, BddManager, DdStats};
+pub use bdd::{Bdd, BddManager, DdStats, OpBudget, RootId};
 pub use compile::{
     compile_cnf, compile_cnf_projected, compile_cnf_with_order, variable_order, CompileConfig,
     CompileError, CompiledCnf, OrderHeuristic,
 };
+pub use reorder::{ReorderConfig, SiftOutcome};
 
 #[cfg(test)]
 mod proptests {
@@ -160,6 +165,62 @@ mod proptests {
             let compiled = compile_cnf_projected(&cnf.to_cnf(), &keep, &CompileConfig::default()).unwrap();
             let got = compiled.manager.weight_count_over(compiled.root, &keep, &[]);
             prop_assert_eq!(got[0], shadow.len() as u128);
+        }
+
+        #[test]
+        fn packed_arena_matches_hashmap_oracle(
+            cnf in arb_cnf(12),
+            keep_bits in proptest::collection::vec(any::<bool>(), 12),
+        ) {
+            // Differential harness for the packed-arena rewrite: the
+            // retained HashMap kernel (`oracle`) compiles the same CNF with
+            // the same order and schedule; projected shadow counts and
+            // weight stratifications must agree bit for bit.
+            let keep: Vec<usize> = (0..cnf.num_vars).filter(|&v| keep_bits[v]).collect();
+            let dimacs = cnf.to_cnf();
+            let order = variable_order(&dimacs, OrderHeuristic::FirstUse, 0);
+            let compiled =
+                compile_cnf_projected(&dimacs, &keep, &CompileConfig::default()).unwrap();
+            let (om, oroot) = oracle::oracle_compile_projected(&dimacs, order, Some(&keep));
+            let inds: Vec<(usize, bool)> =
+                keep.iter().step_by(2).map(|&v| (v, true)).collect();
+            prop_assert_eq!(
+                compiled.manager.weight_count_over(compiled.root, &keep, &inds),
+                om.weight_count_over(oroot, &keep, &inds)
+            );
+        }
+
+        #[test]
+        fn gc_and_sifting_are_invisible_on_random_cnfs(
+            cnf in arb_cnf(12),
+            keep_bits in proptest::collection::vec(any::<bool>(), 12),
+        ) {
+            // Memory management must never change semantics: compile with
+            // eager GC + eager sifting and with both disabled, and compare
+            // full weight stratifications over the kept variables.
+            let keep: Vec<usize> = (0..cnf.num_vars).filter(|&v| keep_bits[v]).collect();
+            let dimacs = cnf.to_cnf();
+            let eager = CompileConfig {
+                gc_dead_ratio: Some(0.0),
+                reorder: Some(ReorderConfig {
+                    trigger_nodes: 1,
+                    min_level_size: 1,
+                    ..ReorderConfig::default()
+                }),
+                ..CompileConfig::default()
+            };
+            let plain = CompileConfig {
+                gc_dead_ratio: None,
+                reorder: None,
+                ..CompileConfig::default()
+            };
+            let a = compile_cnf_projected(&dimacs, &keep, &eager).unwrap();
+            let b = compile_cnf_projected(&dimacs, &keep, &plain).unwrap();
+            let inds: Vec<(usize, bool)> = keep.iter().map(|&v| (v, true)).collect();
+            prop_assert_eq!(
+                a.manager.weight_count_over(a.root, &keep, &inds),
+                b.manager.weight_count_over(b.root, &keep, &inds)
+            );
         }
 
         #[test]

@@ -53,6 +53,22 @@ fn enumerators_report_has_counts_matching_group_theory() {
     assert_eq!(jobs.len(), codes.len());
     for (code, job) in codes.iter().zip(&jobs) {
         assert_eq!(job.get("outcome").unwrap().as_str(), Some("enumerator"));
+        // Counting jobs carry the decision-diagram block: allocation and
+        // cache counters plus the memory-management telemetry added with
+        // the packed-arena engine.
+        assert!(job.get("dd_nodes").unwrap().as_f64().unwrap() > 0.0);
+        assert!(job.get("dd_peak_nodes").unwrap().as_f64().unwrap() > 0.0);
+        assert!(job.get("dd_cache_lookups").unwrap().as_f64().unwrap() > 0.0);
+        assert!(job.get("dd_cache_hits").unwrap().as_f64().unwrap() >= 0.0);
+        let hit_rate = job.get("dd_hit_rate").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&hit_rate));
+        assert!(job.get("dd_probe_len").unwrap().as_f64().unwrap() >= 0.0);
+        let load = job.get("dd_load_factor").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&load));
+        assert!(job.get("dd_gc_runs").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(job.get("dd_gc_reclaimed").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(job.get("dd_reorder_swaps").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(job.get("dd_arena_bytes").unwrap().as_f64().unwrap() > 0.0);
         let min_weight = job.get("min_weight").unwrap().as_f64().unwrap() as usize;
         assert_eq!(Some(min_weight), code.claimed_distance());
         let coeffs = job.get("coefficients").unwrap().as_arr().unwrap();
