@@ -19,6 +19,9 @@
 /// arena indices and variable ids both do long before memory runs out.
 #[inline]
 pub(crate) fn pack_key(op: u8, a: u32, b: u32) -> u64 {
+    // Only 2 bits of key space: a fifth op tag would silently alias an
+    // existing op's entries and return wrong cached results.
+    debug_assert!(op < 4);
     debug_assert!(a < (1 << 31) && b < (1 << 31));
     ((op as u64) << 62) | ((a as u64) << 31) | b as u64
 }

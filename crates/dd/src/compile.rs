@@ -296,6 +296,10 @@ fn compile_projected_with_order(
         let f = clause_bdd(&mut manager, clause);
         root = manager.and_budgeted(root, f, &budget)?;
         if root == Bdd::FALSE {
+            // The registry must track the FALSE terminal too: the final GC
+            // below re-reads the root from it, and a stale pre-contradiction
+            // entry would resurrect a satisfiable diagram.
+            manager.update_root(root_id, root);
             break; // contradiction: no later clause can resurrect it
         }
         for l in clause {
@@ -509,6 +513,37 @@ mod tests {
             }
             other => panic!("expected NodeLimit, got {other}"),
         }
+    }
+
+    #[test]
+    fn unsat_stays_false_past_the_final_gc() {
+        // Two clauses over disjoint halves of 40000 variables: conjoining
+        // them allocates ~40000 nodes, pushing the arena past GC_MIN_NODES
+        // before the contradicting units arrive. The contradiction break
+        // must update the root registry to FALSE, or the post-loop
+        // collect_garbage re-reads the stale pre-contradiction root and a
+        // provably UNSAT formula compiles to a satisfiable diagram.
+        let n = 40000usize;
+        let mut text = format!("p cnf {n} 4\n");
+        for v in (1..=n).step_by(2) {
+            text.push_str(&format!("{v} "));
+        }
+        text.push_str("0\n");
+        for v in (2..=n).step_by(2) {
+            text.push_str(&format!("{v} "));
+        }
+        text.push_str("0\n1 0\n-1 0\n");
+        let parsed = cnf(&text);
+        let compiled = compile_cnf(
+            &parsed,
+            &CompileConfig {
+                order: OrderHeuristic::Natural,
+                ..CompileConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(compiled.root, Bdd::FALSE);
+        assert_eq!(compiled.manager.model_count(compiled.root), 0);
     }
 
     #[test]
