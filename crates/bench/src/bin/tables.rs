@@ -1,7 +1,7 @@
 //! Regenerates the paper's evaluation tables/figure data as markdown (plus
 //! machine-readable JSON batch reports from the engine).
 //!
-//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|enumerators|fault_tolerance|kernels|solver|dd|quick|all] [max_d]`
+//! Usage: `cargo run -p veriqec_bench --bin tables --release -- [fig4|fig6|fig7|table3|table4|stim|enumerators|fault_tolerance|kernels|solver|dd|quick|all] [max_d] [--trace out.json] [--progress]`
 //!
 //! `quick` is the CI smoke mode: a small heterogeneous batch (correction +
 //! detection + distance jobs on small codes) through the engine's shared
@@ -28,9 +28,19 @@
 //! The smoke modes (`quick`, `enumerators --quick`, `fault_tolerance
 //! --quick`, `kernels --check`) exit nonzero on any inconclusive or
 //! cancelled job so CI fails on partial batches, after the artifacts are
-//! written.
+//! written; each incomplete job is listed with its budget-trip reason
+//! (`conflict_budget`, `node_limit(…)`, `interrupted`, `cancelled`).
+//!
+//! Two flags compose with every mode: `--trace <out.json>` records spans,
+//! milestones, and counters from all instrumented crates and writes a
+//! Chrome trace-event file (load it at <https://ui.perfetto.dev>), after
+//! validating it in-process against the schema checker the tests use; and
+//! `--progress` prints a heartbeat line to stderr every two seconds
+//! (elapsed, phase, jobs done/total, conflicts, DD nodes, ETA).
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use rand::prelude::*;
 use veriqec::engine::{CorrectionSweep, DetectionSession, Engine, EngineConfig, Job, JobOutcome};
@@ -51,7 +61,105 @@ use veriqec_decoder::{decode_call_oracle, CssLookupDecoder};
 use veriqec_sat::SolverConfig;
 use veriqec_vcgen::VcOutcome;
 
+/// Where `--trace` writes the Chrome trace artifact, once parsed.
+static TRACE_PATH: OnceLock<String> = OnceLock::new();
+/// The collector accumulating drained events while tracing is on.
+static COLLECTOR: Mutex<Option<veriqec_obs::Collector>> = Mutex::new(None);
+/// Guards [`finalize_trace`] against running twice (it is called both at
+/// the end of `main` and before `exit(1)` in the smoke gates).
+static TRACE_DONE: AtomicBool = AtomicBool::new(false);
+/// Categories the finished trace must contain, or the process exits
+/// nonzero. Smoke modes that exercise the full vertical set this so CI
+/// catches instrumentation that silently stopped emitting.
+static REQUIRED_CATS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// Parses `--trace <path>` and `--progress` and arms the corresponding
+/// veriqec_obs machinery before any mode runs.
+fn init_observability() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+    {
+        let _ = TRACE_PATH.set(path.clone());
+        *COLLECTOR.lock().unwrap() = Some(veriqec_obs::Collector::new());
+        veriqec_obs::set_enabled(true);
+    }
+    if args.iter().any(|a| a == "--progress") {
+        veriqec_obs::heartbeat::set_progress(true);
+    }
+}
+
+/// Drains everything flushed so far and returns the per-phase span
+/// summary; empty when tracing is off. The drained events stay in the
+/// global collector for the final serialization.
+fn phase_summary_now() -> Vec<veriqec_obs::PhaseSummary> {
+    let mut guard = COLLECTOR.lock().unwrap();
+    match guard.as_mut() {
+        Some(c) => {
+            c.drain();
+            c.phase_summary()
+        }
+        None => Vec::new(),
+    }
+}
+
+/// Serializes, validates, and writes the trace artifact. Idempotent: the
+/// smoke gates call this before `exit(1)` so a failed batch still uploads
+/// its trace, and `main` calls it on the normal path. Exits nonzero itself
+/// if the generated trace violates the Chrome trace-event schema or lacks
+/// a required category.
+fn finalize_trace() {
+    if TRACE_DONE.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let Some(path) = TRACE_PATH.get() else {
+        return;
+    };
+    veriqec_obs::set_enabled(false);
+    let Some(mut collector) = COLLECTOR.lock().unwrap().take() else {
+        return;
+    };
+    collector.drain();
+    let json = collector.to_chrome_trace();
+    let summary = match veriqec_bench::trace::validate_chrome_trace(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: generated trace failed schema validation: {e}");
+            std::process::exit(1);
+        }
+    };
+    let required = REQUIRED_CATS.lock().unwrap().clone();
+    let missing: Vec<&str> = required
+        .iter()
+        .filter(|c| !summary.categories.iter().any(|have| have == *c))
+        .copied()
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "error: trace missing required categories {missing:?} (got {:?})",
+            summary.categories
+        );
+        std::process::exit(1);
+    }
+    std::fs::write(path, &json).expect("trace writable");
+    println!(
+        "trace written to {path}: {} events on {} thread(s), categories {:?}",
+        summary.events, summary.tids, summary.categories
+    );
+}
+
 fn main() {
+    init_observability();
+    // Lives across the whole dispatch; drop stops and joins the thread.
+    let _heartbeat = veriqec_obs::heartbeat::progress_enabled()
+        .then(|| veriqec_obs::heartbeat::Heartbeat::start(Duration::from_secs(2)));
+    dispatch();
+    finalize_trace();
+}
+
+fn dispatch() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let max_d: usize = std::env::args()
         .nth(2)
@@ -114,16 +222,21 @@ fn main() {
 /// CI gate shared by the smoke modes: a batch with any inconclusive or
 /// cancelled job must fail the build, but only after the artifacts are
 /// written (a partial report is still worth uploading for the post-mortem).
+/// Each listed job carries its budget-trip reason — `conflict_budget` vs
+/// `node_limit(…)` vs `interrupted` vs `cancelled` — so the failure mode
+/// is visible from the CI log alone.
 fn gate_complete(batch: &veriqec::engine::BatchReport) {
-    let incomplete = batch.incomplete_jobs();
+    let incomplete = batch.incomplete_jobs_with_reasons();
     if !incomplete.is_empty() {
         eprintln!(
             "error: {} job(s) did not run to completion:",
             incomplete.len()
         );
-        for name in incomplete {
-            eprintln!("  - {name}");
+        for (name, reason) in incomplete {
+            eprintln!("  - {name} ({})", reason.unwrap_or("no reason recorded"));
         }
+        // A partial trace is exactly the artifact worth keeping here.
+        finalize_trace();
         std::process::exit(1);
     }
 }
@@ -318,7 +431,8 @@ fn fault_tolerance(quick: bool) {
         })
         .collect();
     let engine = Engine::new(EngineConfig::default());
-    let batch = engine.run(jobs);
+    let mut batch = engine.run(jobs);
+    batch.attach_phase_summary(phase_summary_now());
     println!("| code | rounds | (0,0) | (0,1) | (1,0) | (1,1) | busy |");
     println!("|------|--------|-------|-------|-------|-------|------|");
     let fmt_point = |v: Option<bool>| match v {
@@ -415,8 +529,14 @@ fn enumerators(quick: bool) {
         .iter()
         .map(|code| Job::count(code.name().to_string(), code.clone()))
         .collect();
+    // This mode exercises the full vertical — engine scheduling, smt
+    // formula assembly and CNF export, sat clause export, dd compiles — so
+    // a trace lacking any of those categories means instrumentation went
+    // dark.
+    *REQUIRED_CATS.lock().unwrap() = vec!["engine", "smt", "sat", "dd"];
     let engine = Engine::new(EngineConfig::default());
-    let batch = engine.run(jobs);
+    let mut batch = engine.run(jobs);
+    batch.attach_phase_summary(phase_summary_now());
     println!("| code | [[n,k,d]] | min weight | A_d | total failures | busy | dd nodes |");
     println!("|------|-----------|------------|-----|----------------|------|----------|");
     for (code, job) in codes.iter().zip(&batch.jobs) {
@@ -555,7 +675,8 @@ fn quick() {
         Job::distance("steane_distance", steane(), 4),
     ];
     let engine = Engine::new(EngineConfig::default());
-    let batch = engine.run(jobs);
+    let mut batch = engine.run(jobs);
+    batch.attach_phase_summary(phase_summary_now());
     print!("{}", batch.to_markdown());
     println!("\n```json\n{}\n```", batch.to_json());
     assert!(batch.jobs[0].outcome.is_verified(), "steane t=1");

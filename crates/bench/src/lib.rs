@@ -7,7 +7,9 @@
 //! (`tables kernels` → `BENCH_kernels.json`), [`solver_bench`] is the CDCL
 //! throughput gate next to it (`tables solver` → `BENCH_solver.json`), and
 //! [`json`] is the minimal parser that the gates and the artifact schema
-//! tests read those reports with (the tree is offline — no serde).
+//! tests read those reports with (the tree is offline — no serde), and
+//! [`trace`] validates the Chrome trace-event artifacts `tables --trace`
+//! emits before they are written or uploaded.
 
 use veriqec::scenario::{memory_scenario, ErrorModel, Scenario};
 use veriqec::tasks::build_problem;
@@ -18,6 +20,7 @@ pub mod dd_bench;
 pub mod json;
 pub mod kernels;
 pub mod solver_bench;
+pub mod trace;
 
 /// The rotated-surface memory workload of Figs. 4/6/7 at distance `d`.
 pub fn surface_workload(d: usize) -> (StabilizerCode, Scenario) {

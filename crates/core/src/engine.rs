@@ -177,6 +177,12 @@ impl DetectionSession {
     pub fn solver_stats(&self) -> SolverStats {
         self.ctx.solver_stats()
     }
+
+    /// Why the last query came back inconclusive (see
+    /// [`veriqec_sat::UnknownCause`]).
+    pub fn unknown_cause(&self) -> Option<veriqec_sat::UnknownCause> {
+        self.ctx.unknown_cause()
+    }
 }
 
 /// An incremental weight sweep over the general/constrained correction task.
@@ -615,6 +621,73 @@ impl JobOutcome {
     }
 }
 
+/// How one generated markdown column renders its metric.
+enum ColStyle {
+    /// Integer count, verbatim.
+    Count,
+    /// Real value with two decimals.
+    Fixed2,
+    /// Ratio in `[0, 1]` shown as a one-decimal percentage.
+    Pct1,
+}
+
+/// One generated report column: the metric it reads and how it renders.
+/// Markdown rows and headers both come from this table, so adding a metric
+/// to a stats `to_metrics()` plus one entry here is the whole change.
+struct MdColumn {
+    header: &'static str,
+    metric: &'static str,
+    style: ColStyle,
+}
+
+impl MdColumn {
+    fn render(&self, m: &veriqec_obs::MetricsSnapshot) -> String {
+        match self.style {
+            ColStyle::Count => format!("{}", m.count(self.metric)),
+            ColStyle::Fixed2 => format!("{:.2}", m.value(self.metric)),
+            ColStyle::Pct1 => format!("{:.1}", m.value(self.metric) * 100.0),
+        }
+    }
+}
+
+const MD_COLUMNS: &[MdColumn] = &[
+    MdColumn {
+        header: "conflicts",
+        metric: "conflicts",
+        style: ColStyle::Count,
+    },
+    MdColumn {
+        header: "decisions",
+        metric: "decisions",
+        style: ColStyle::Count,
+    },
+    MdColumn {
+        header: "mean LBD",
+        metric: "mean_lbd",
+        style: ColStyle::Fixed2,
+    },
+    MdColumn {
+        header: "dd nodes",
+        metric: "dd_nodes",
+        style: ColStyle::Count,
+    },
+    MdColumn {
+        header: "dd hit%",
+        metric: "dd_hit_rate",
+        style: ColStyle::Pct1,
+    },
+    MdColumn {
+        header: "dd gc",
+        metric: "dd_gc_runs",
+        style: ColStyle::Count,
+    },
+    MdColumn {
+        header: "dd swaps",
+        metric: "dd_reorder_swaps",
+        style: ColStyle::Count,
+    },
+];
+
 /// Per-job result within a [`BatchReport`].
 #[derive(Clone, Debug)]
 pub struct JobReport {
@@ -625,12 +698,31 @@ pub struct JobReport {
     /// Work items issued (enumeration cubes for correction jobs, 1 for
     /// detection/distance jobs claimed by a worker, 0 if never started).
     pub subtasks: usize,
-    /// Summed worker time spent on this job (CPU-side, not wall clock).
+    /// Summed worker time spent on this job (CPU-side, not wall clock;
+    /// excludes queue wait — each item is timed from its claim).
     pub busy_time: Duration,
+    /// Time from batch start to the job's first claim by a worker (the
+    /// whole batch for a job no worker ever reached).
+    pub queue_wait: Duration,
+    /// Why an inconclusive outcome is inconclusive: `"conflict_budget"`,
+    /// `"interrupted"`, `"node_limit(N nodes)"`, or `"cancelled"`. `None`
+    /// for conclusive outcomes.
+    pub reason: Option<String>,
     /// Solver statistics summed over every session that served this job.
     pub stats: SolverStats,
     /// Decision-diagram statistics (counting jobs; zero elsewhere).
     pub dd: DdStats,
+}
+
+impl JobReport {
+    /// The job's solver and DD statistics lowered into one
+    /// [`veriqec_obs::MetricsSnapshot`] — the single table the markdown
+    /// and JSON report columns are generated from.
+    pub fn metrics(&self) -> veriqec_obs::MetricsSnapshot {
+        let mut m = self.stats.to_metrics();
+        m.merge(&self.dd.to_metrics());
+        m
+    }
 }
 
 /// Result of one [`Engine::run`] batch.
@@ -642,6 +734,10 @@ pub struct BatchReport {
     pub wall_time: Duration,
     /// Worker threads used.
     pub workers: usize,
+    /// Aggregated per-phase span summary, attached by trace-collecting
+    /// drivers via [`BatchReport::attach_phase_summary`]; empty when
+    /// tracing was off.
+    pub phases: Vec<veriqec_obs::PhaseSummary>,
 }
 
 impl BatchReport {
@@ -666,32 +762,53 @@ impl BatchReport {
             .collect()
     }
 
-    /// Renders the batch as a markdown table.
+    /// Like [`BatchReport::incomplete_jobs`], with each job's budget-trip
+    /// reason (when one was recorded) — what the `tables` smoke gates print
+    /// instead of a bare "inconclusive".
+    pub fn incomplete_jobs_with_reasons(&self) -> Vec<(&str, Option<&str>)> {
+        self.jobs
+            .iter()
+            .filter(|j| !j.outcome.is_conclusive())
+            .map(|j| (j.name.as_str(), j.reason.as_deref()))
+            .collect()
+    }
+
+    /// Attaches the per-phase span summary (from
+    /// [`veriqec_obs::Collector::phase_summary`]) so the markdown and JSON
+    /// renderings include it.
+    pub fn attach_phase_summary(&mut self, phases: Vec<veriqec_obs::PhaseSummary>) {
+        self.phases = phases;
+    }
+
+    /// Renders the batch as a markdown table. The solver/DD columns are
+    /// generated from one internal column table over the jobs' metric
+    /// snapshots — the same snapshots the JSON rendering draws from.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
-        out.push_str(
-            "| job | outcome | subtasks | busy | conflicts | decisions | mean LBD \
-             | dd nodes | dd hit% | dd gc | dd swaps |\n",
-        );
-        out.push_str(
-            "|-----|---------|----------|------|-----------|-----------|----------\
-             |----------|---------|-------|----------|\n",
-        );
+        out.push_str("| job | outcome | subtasks | busy | queue |");
+        for col in MD_COLUMNS {
+            out.push_str(&format!(" {} |", col.header));
+        }
+        out.push('\n');
+        out.push_str("|-----|---------|----------|------|-------|");
+        for col in MD_COLUMNS {
+            out.push_str(&format!("{}|", "-".repeat(col.header.len() + 2)));
+        }
+        out.push('\n');
         for j in &self.jobs {
+            let m = j.metrics();
             out.push_str(&format!(
-                "| {} | {} | {} | {:?} | {} | {} | {:.2} | {} | {:.1} | {} | {} |\n",
+                "| {} | {} | {} | {:?} | {:?} |",
                 j.name,
                 j.outcome.tag(),
                 j.subtasks,
                 j.busy_time,
-                j.stats.conflicts,
-                j.stats.decisions,
-                j.stats.mean_learnt_lbd(),
-                j.dd.nodes,
-                j.dd.cache_hit_rate() * 100.0,
-                j.dd.gc_runs,
-                j.dd.reorder_swaps,
+                j.queue_wait,
             ));
+            for col in MD_COLUMNS {
+                out.push_str(&format!(" {} |", col.render(&m)));
+            }
+            out.push('\n');
         }
         out.push_str(&format!(
             "\n{} jobs on {} workers in {:?}\n",
@@ -699,6 +816,18 @@ impl BatchReport {
             self.workers,
             self.wall_time
         ));
+        if !self.phases.is_empty() {
+            out.push_str("\n| phase | spans | total |\n|-------|-------|-------|\n");
+            for p in &self.phases {
+                out.push_str(&format!(
+                    "| {}/{} | {} | {:.3}ms |\n",
+                    p.cat,
+                    p.name,
+                    p.count,
+                    p.total_us as f64 / 1e3
+                ));
+            }
+        }
         out
     }
 
@@ -765,41 +894,57 @@ impl BatchReport {
                 _ => {}
             }
             out.push_str(&format!(
-                ",\"subtasks\":{},\"busy_ms\":{:.3},\"conflicts\":{},\"decisions\":{},\"propagations\":{},\"restarts\":{}",
+                ",\"subtasks\":{},\"busy_ms\":{:.3},\"queue_wait_ms\":{:.3}",
                 j.subtasks,
                 j.busy_time.as_secs_f64() * 1e3,
-                j.stats.conflicts,
-                j.stats.decisions,
-                j.stats.propagations,
-                j.stats.restarts,
+                j.queue_wait.as_secs_f64() * 1e3,
             ));
-            out.push_str(&format!(
-                ",\"minimized_lits\":{},\"gc_runs\":{},\"arena_bytes\":{},\"mean_lbd\":{:.3}",
-                j.stats.minimized_lits,
-                j.stats.gc_runs,
-                j.stats.arena_bytes,
-                j.stats.mean_learnt_lbd(),
-            ));
+            if let Some(reason) = &j.reason {
+                out.push_str(&format!(",\"reason\":\"{}\"", json_escape(reason)));
+            }
+            // Solver columns straight from the metric snapshot (same
+            // source as the markdown table); DD columns only for jobs that
+            // touched the counting backend, as before.
+            push_metrics_json(&mut out, &j.stats.to_metrics());
             if j.dd != DdStats::default() {
-                out.push_str(&format!(
-                    ",\"dd_nodes\":{},\"dd_peak_nodes\":{},\"dd_cache_lookups\":{},\"dd_cache_hits\":{}",
-                    j.dd.nodes, j.dd.peak_nodes, j.dd.cache_lookups, j.dd.cache_hits
-                ));
-                out.push_str(&format!(
-                    ",\"dd_hit_rate\":{:.4},\"dd_probe_len\":{:.3},\"dd_load_factor\":{:.4}",
-                    j.dd.cache_hit_rate(),
-                    j.dd.unique_probe_length(),
-                    j.dd.unique_load_factor(),
-                ));
-                out.push_str(&format!(
-                    ",\"dd_gc_runs\":{},\"dd_gc_reclaimed\":{},\"dd_reorder_swaps\":{},\"dd_arena_bytes\":{}",
-                    j.dd.gc_runs, j.dd.gc_reclaimed, j.dd.reorder_swaps, j.dd.arena_bytes
-                ));
+                push_metrics_json(&mut out, &j.dd.to_metrics());
             }
             out.push('}');
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.phases.is_empty() {
+            out.push_str(",\"phases\":[");
+            for (i, p) in self.phases.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"cat\":\"{}\",\"name\":\"{}\",\"count\":{},\"total_us\":{}}}",
+                    json_escape(&p.cat),
+                    json_escape(&p.name),
+                    p.count,
+                    p.total_us
+                ));
+            }
+            out.push(']');
+        }
+        out.push('}');
         out
+    }
+}
+
+/// Appends every snapshot entry as a `,"name":value` JSON field: counts as
+/// integers, derived values with fixed four-decimal precision.
+fn push_metrics_json(out: &mut String, m: &veriqec_obs::MetricsSnapshot) {
+    for (name, value) in &m.entries {
+        match value {
+            veriqec_obs::MetricValue::Count(c) => {
+                out.push_str(&format!(",\"{name}\":{c}"));
+            }
+            veriqec_obs::MetricValue::Value(v) => {
+                out.push_str(&format!(",\"{name}\":{v:.4}"));
+            }
+        }
     }
 }
 
@@ -848,6 +993,12 @@ struct JobState {
     dd: Mutex<DdStats>,
     busy: Mutex<Duration>,
     issued: AtomicUsize,
+    /// When the job entered the queue (batch start).
+    queued_at: Instant,
+    /// Time from enqueue to the first worker claim; `None` until claimed.
+    queue_wait: Mutex<Option<Duration>>,
+    /// First recorded budget-trip reason (see [`JobReport::reason`]).
+    reason: Mutex<Option<String>>,
 }
 
 impl JobState {
@@ -871,6 +1022,26 @@ impl JobState {
             dd: Mutex::new(DdStats::default()),
             busy: Mutex::new(Duration::ZERO),
             issued: AtomicUsize::new(0),
+            queued_at: Instant::now(),
+            queue_wait: Mutex::new(None),
+            reason: Mutex::new(None),
+        }
+    }
+
+    /// Records how long the job waited in the queue, on its first claim.
+    fn mark_claimed(&self) {
+        let mut qw = self.queue_wait.lock().expect("poisoned");
+        if qw.is_none() {
+            *qw = Some(self.queued_at.elapsed());
+        }
+    }
+
+    /// Records the first budget-trip reason (later ones add no information:
+    /// the first trip is what stopped the job making progress).
+    fn record_reason(&self, reason: String) {
+        let mut r = self.reason.lock().expect("poisoned");
+        if r.is_none() {
+            *r = Some(reason);
         }
     }
 
@@ -903,6 +1074,9 @@ fn next_item(states: &[JobState]) -> Option<WorkItem> {
                     return Some(WorkItem::Cube(j, cube));
                 }
                 *src = JobSource::Exhausted;
+                // Last cube issued ≈ job done: close enough for the
+                // heartbeat's ETA (in-flight cubes finish within one claim).
+                veriqec_obs::heartbeat::JOBS_DONE.add(1);
             }
             JobSource::Whole { claimed } if !*claimed => {
                 *claimed = true;
@@ -949,7 +1123,17 @@ impl Engine {
     /// engine-owned worker pool and reports per-job outcomes and statistics.
     pub fn run(&self, jobs: Vec<Job>) -> BatchReport {
         let start = Instant::now();
+        let _batch_span = veriqec_obs::span("engine", "batch");
         let states: Vec<JobState> = jobs.into_iter().map(JobState::new).collect();
+        if veriqec_obs::active() {
+            veriqec_obs::heartbeat::JOBS_DONE.reset();
+            veriqec_obs::heartbeat::JOBS_TOTAL.set(states.len() as u64);
+            // Indices, not names, to keep the instants cheap; the per-claim
+            // job spans carry the names.
+            for i in 0..states.len() {
+                veriqec_obs::instant("engine", "job_queued", &[("job", i as f64)]);
+            }
+        }
         let workers = self.config.workers.max(1);
         let active = AtomicUsize::new(workers);
         let done = Mutex::new(false);
@@ -1025,11 +1209,22 @@ impl Engine {
                         _ => JobOutcome::Cancelled,
                     },
                 };
+                let mut reason = st.reason.into_inner().expect("poisoned");
+                if reason.is_none() && matches!(outcome, JobOutcome::Cancelled) {
+                    reason = Some("cancelled".to_string());
+                }
                 JobReport {
                     name: st.name,
                     outcome,
                     subtasks: st.issued.into_inner(),
                     busy_time: st.busy.into_inner().expect("poisoned"),
+                    // A job no worker ever claimed waited out the batch.
+                    queue_wait: st
+                        .queue_wait
+                        .into_inner()
+                        .expect("poisoned")
+                        .unwrap_or_else(|| start.elapsed()),
+                    reason,
                     stats: st.stats.into_inner().expect("poisoned"),
                     dd: st.dd.into_inner().expect("poisoned"),
                 }
@@ -1039,6 +1234,7 @@ impl Engine {
             jobs,
             wall_time: start.elapsed(),
             workers,
+            phases: Vec::new(),
         }
     }
 
@@ -1057,6 +1253,19 @@ impl Engine {
             let Some(item) = next_item(states) else {
                 break;
             };
+            let idx = match &item {
+                WorkItem::Cube(j, _) | WorkItem::Whole(j) => *j,
+            };
+            let is_whole = matches!(item, WorkItem::Whole(_));
+            // Queue wait ends at the first claim and busy time starts
+            // after it, so the two never overlap: busy measures work, not
+            // time spent parked behind earlier jobs.
+            states[idx].mark_claimed();
+            if veriqec_obs::heartbeat::progress_enabled() {
+                veriqec_obs::heartbeat::set_phase(&states[idx].name);
+            }
+            let _job_span =
+                veriqec_obs::span_with("engine", || format!("job:{}", states[idx].name));
             let t0 = Instant::now();
             let job_idx = match item {
                 WorkItem::Cube(j, cube) => {
@@ -1093,6 +1302,9 @@ impl Engine {
                             // and wins.
                             if !st.cancel.load(Ordering::Relaxed) {
                                 st.record(JobOutcome::Unknown);
+                                if let Some(cause) = session.unknown_cause() {
+                                    st.record_reason(cause.to_string());
+                                }
                             }
                         }
                     }
@@ -1105,6 +1317,11 @@ impl Engine {
                             let mut s = DetectionSession::new(code, self.config.solver);
                             s.set_stop_flag(Arc::clone(&st.cancel));
                             let out = s.check(*dt);
+                            if matches!(out, DetectionOutcome::Inconclusive) {
+                                if let Some(cause) = s.unknown_cause() {
+                                    st.record_reason(cause.to_string());
+                                }
+                            }
                             *st.stats.lock().expect("poisoned") += s.solver_stats();
                             st.record(JobOutcome::Detection(out));
                         }
@@ -1112,6 +1329,11 @@ impl Engine {
                             let mut s = DetectionSession::new(code, self.config.solver);
                             s.set_stop_flag(Arc::clone(&st.cancel));
                             let out = s.find_distance(*max);
+                            if matches!(out, DistanceOutcome::Inconclusive { .. }) {
+                                if let Some(cause) = s.unknown_cause() {
+                                    st.record_reason(cause.to_string());
+                                }
+                            }
                             *st.stats.lock().expect("poisoned") += s.solver_stats();
                             st.record(JobOutcome::Distance(out));
                         }
@@ -1130,6 +1352,7 @@ impl Engine {
                                     // Surface how far the diagram got so a
                                     // report consumer can tune the budget.
                                     st.dd.lock().expect("poisoned").nodes += nodes as u64;
+                                    st.record_reason(format!("node_limit({nodes} nodes)"));
                                     st.record(JobOutcome::Unknown);
                                 }
                                 // Cancelled: a real outcome or the cancel
@@ -1171,6 +1394,11 @@ impl Engine {
                                 }
                             }
                             *st.stats.lock().expect("poisoned") += sweep.session().solver_stats();
+                            if points.iter().any(|p| p.correctable.is_none()) {
+                                if let Some(cause) = sweep.session().unknown_cause() {
+                                    st.record_reason(cause.to_string());
+                                }
+                            }
                             // A batch cancellation mid-grid is not a result;
                             // leaving the outcome empty reports Cancelled.
                             if !st.cancel.load(Ordering::Relaxed) {
@@ -1185,11 +1413,20 @@ impl Engine {
                 }
             };
             *states[job_idx].busy.lock().expect("poisoned") += t0.elapsed();
+            if is_whole {
+                veriqec_obs::heartbeat::JOBS_DONE.add(1);
+            }
         }
         // Fold this worker's session statistics into their jobs.
         for (j, s) in sessions {
             *states[j].stats.lock().expect("poisoned") += s.solver_stats();
         }
+        // Hand this worker's buffered trace events to the global sink
+        // before the closure returns. `thread::scope` considers a thread
+        // finished when its closure returns — thread-local destructors may
+        // still be running after the scope joins — so relying on the
+        // buffer's drop-flush would race with a post-run drain.
+        veriqec_obs::flush_thread();
     }
 }
 
@@ -1233,6 +1470,8 @@ mod tests {
                     outcome: JobOutcome::Verified,
                     subtasks: 1,
                     busy_time: Duration::ZERO,
+                    queue_wait: Duration::ZERO,
+                    reason: None,
                     stats: SolverStats::default(),
                     dd: DdStats::default(),
                 },
@@ -1241,14 +1480,21 @@ mod tests {
                     outcome: JobOutcome::Frontier(partial),
                     subtasks: 1,
                     busy_time: Duration::ZERO,
+                    queue_wait: Duration::ZERO,
+                    reason: Some("conflict_budget".into()),
                     stats: SolverStats::default(),
                     dd: DdStats::default(),
                 },
             ],
             wall_time: Duration::ZERO,
             workers: 1,
+            phases: Vec::new(),
         };
         assert_eq!(report.incomplete_jobs(), vec!["half"]);
+        assert_eq!(
+            report.incomplete_jobs_with_reasons(),
+            vec![("half", Some("conflict_budget"))]
+        );
     }
 
     #[test]

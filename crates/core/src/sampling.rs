@@ -221,6 +221,7 @@ pub fn exhaustive_frame_check(
     t_data: usize,
     t_meas: usize,
 ) -> Option<(Vec<usize>, Vec<usize>)> {
+    let _span = veriqec_obs::span("engine", "frame_sweep");
     let n = code.n();
     let num_checks = code.generators().len();
     let schedule = ExtractionSchedule::repeated(num_checks, rounds);

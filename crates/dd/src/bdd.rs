@@ -130,6 +130,27 @@ impl DdStats {
             self.live_nodes as f64 / self.unique_slots as f64
         }
     }
+
+    /// Lowers the stats into a [`veriqec_obs::MetricsSnapshot`] under the
+    /// batch reports' `dd_`-prefixed names — the one table the markdown and
+    /// JSON DD columns are generated from. Counts merge additively; the
+    /// derived rates (`dd_hit_rate`, `dd_probe_len`, `dd_load_factor`) are
+    /// computed here once.
+    pub fn to_metrics(&self) -> veriqec_obs::MetricsSnapshot {
+        let mut m = veriqec_obs::MetricsSnapshot::new();
+        m.push_count("dd_nodes", self.nodes);
+        m.push_count("dd_peak_nodes", self.peak_nodes);
+        m.push_count("dd_cache_lookups", self.cache_lookups);
+        m.push_count("dd_cache_hits", self.cache_hits);
+        m.push_value("dd_hit_rate", self.cache_hit_rate());
+        m.push_value("dd_probe_len", self.unique_probe_length());
+        m.push_value("dd_load_factor", self.unique_load_factor());
+        m.push_count("dd_gc_runs", self.gc_runs);
+        m.push_count("dd_gc_reclaimed", self.gc_reclaimed);
+        m.push_count("dd_reorder_swaps", self.reorder_swaps);
+        m.push_count("dd_arena_bytes", self.arena_bytes);
+        m
+    }
 }
 
 impl std::ops::AddAssign for DdStats {

@@ -259,6 +259,11 @@ fn compile_projected_with_order(
     keep: Option<&[usize]>,
     config: &CompileConfig,
 ) -> Result<CompiledCnf, CompileError> {
+    let _span = veriqec_obs::span("dd", "compile");
+    // Cached once per compile: the clause loop below emits per-clause spans
+    // and samples the live node count only when someone is watching.
+    let track = veriqec_obs::enabled();
+    let progress = veriqec_obs::active();
     let mut manager = BddManager::with_order(var_to_level);
     let budget = OpBudget {
         node_limit: config.node_limit,
@@ -293,6 +298,9 @@ fn compile_projected_with_order(
     // this beats any span-sorted schedule.
     for (ci, clause) in cnf.clauses.iter().enumerate() {
         check_budget(&manager, config)?;
+        // Bound (not `_`) so the span covers the whole iteration: the
+        // conjunction, eliminations, and any GC/sift it triggers.
+        let _clause_span = track.then(|| veriqec_obs::span_with("dd", || format!("clause:{ci}")));
         let f = clause_bdd(&mut manager, clause);
         root = manager.and_budgeted(root, f, &budget)?;
         if root == Bdd::FALSE {
@@ -312,8 +320,17 @@ fn compile_projected_with_order(
         manager.update_root(root_id, root);
         if let Some(ratio) = config.gc_dead_ratio {
             if manager.node_count() >= gc_check_at {
+                let nodes_before = manager.node_count();
                 manager.collect_if_worthwhile(ratio);
                 root = manager.root(root_id);
+                veriqec_obs::instant(
+                    "dd",
+                    "gc",
+                    &[
+                        ("nodes_before", nodes_before as f64),
+                        ("nodes_after", manager.node_count() as f64),
+                    ],
+                );
                 // Geometric back-off so the mark pass stays a vanishing
                 // fraction of compile time whatever the dead ratio does.
                 gc_check_at = (manager.node_count() * 3 / 2).max(GC_MIN_NODES);
@@ -323,10 +340,21 @@ fn compile_projected_with_order(
             if swap_budget > 0 && manager.node_count() >= at {
                 let outcome = manager.reorder_sift(rc, &config.stop_flags, &mut swap_budget)?;
                 root = manager.root(root_id);
+                veriqec_obs::instant(
+                    "dd",
+                    "sift",
+                    &[
+                        ("nodes_before", outcome.nodes_before as f64),
+                        ("nodes_after", outcome.nodes_after as f64),
+                    ],
+                );
                 gc_check_at = (manager.node_count() * 3 / 2).max(GC_MIN_NODES);
                 reorder_at =
                     Some(((outcome.nodes_after as f64 * rc.growth) as usize).max(rc.trigger_nodes));
             }
+        }
+        if progress {
+            veriqec_obs::heartbeat::DD_NODES.set(manager.node_count() as u64);
         }
     }
     // Clause construction (`clause_bdd`) and terminal-case conjunctions

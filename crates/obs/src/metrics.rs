@@ -1,0 +1,338 @@
+//! Typed counters, gauges, and log-bucketed histograms with mergeable
+//! snapshots.
+//!
+//! Counters and gauges are plain atomics, cheap enough to bump from hot
+//! loops; histograms bucket by bit length (65 buckets cover the full `u64`
+//! range) so merge is elementwise addition — trivially associative and
+//! commutative, which the proptest suite pins down.
+//!
+//! [`MetricsSnapshot`] is the interchange form: `SolverStats::to_metrics`
+//! and `DdStats::to_metrics` lower their fields into one, batch reports
+//! render their markdown/JSON columns from it, and snapshots from parallel
+//! workers [`MetricsSnapshot::merge`] into batch totals.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter (total conflicts, jobs finished).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero, usable in `static` position.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (between batch runs).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins sampled value (live DD node count, jobs in flight).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at zero, usable in `static` position.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One metric reading inside a [`MetricsSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// An additive count; merging sums.
+    Count(u64),
+    /// A derived real value (a rate, a ratio, a mean); merging keeps the
+    /// later snapshot's reading since sums of ratios are meaningless.
+    Value(f64),
+}
+
+/// An ordered list of named metric readings — the one table both the
+/// markdown and JSON report surfaces are generated from.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in presentation order.
+    pub entries: Vec<(&'static str, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an additive count.
+    pub fn push_count(&mut self, name: &'static str, v: u64) {
+        self.entries.push((name, MetricValue::Count(v)));
+    }
+
+    /// Appends a derived value.
+    pub fn push_value(&mut self, name: &'static str, v: f64) {
+        self.entries.push((name, MetricValue::Value(v)));
+    }
+
+    /// Looks up a reading by name.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The count under `name`, or 0 when absent or not a count.
+    pub fn count(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Count(c)) => c,
+            _ => 0,
+        }
+    }
+
+    /// The value under `name`; counts coerce losslessly enough for display.
+    pub fn value(&self, name: &str) -> f64 {
+        match self.get(name) {
+            Some(MetricValue::Value(v)) => v,
+            Some(MetricValue::Count(c)) => c as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Folds `other` into `self`: counts add, values take `other`'s
+    /// reading, names unseen so far append in `other`'s order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for &(name, value) in &other.entries {
+            match self.entries.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, mine)) => match (mine, value) {
+                    (MetricValue::Count(a), MetricValue::Count(b)) => *a += b,
+                    (mine, theirs) => *mine = theirs,
+                },
+                None => self.entries.push((name, value)),
+            }
+        }
+    }
+}
+
+/// Number of histogram buckets: one per possible bit length of a `u64`,
+/// plus the zero bucket.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log-bucketed histogram: values land in the bucket of their bit
+/// length, so bucket `k` (k ≥ 1) covers `[2^(k-1), 2^k)` and bucket 0 holds
+/// exact zeros. Coarse (one bucket per octave) but merge is elementwise
+/// addition and memory is fixed at 65 words — right for latency-in-µs
+/// distributions tracked per phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Bucket index of `v`: 0 for 0, otherwise the bit length of `v`.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Lower bound of bucket `i`'s value range.
+    pub fn bucket_floor(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            k => 1u64 << (k - 1),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Elementwise-adds `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Lower bound of the bucket holding quantile `q` (in `[0, 1]`), or
+    /// `None` for an empty histogram. Resolution is one octave.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_floor(i));
+            }
+        }
+        Some(Self::bucket_floor(HIST_BUCKETS - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(1), 1);
+        assert_eq!(Histogram::bucket_floor(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn quantiles_land_in_octave() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 5);
+        // Median of {1,2,3,100,1000} is 3 → bucket 2 → floor 2.
+        assert_eq!(h.quantile(0.5), Some(2));
+        // Max lands in 1000's bucket (bit length 10 → floor 512).
+        assert_eq!(h.quantile(1.0), Some(512));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    use proptest::prelude::*;
+
+    fn arb_histogram() -> impl Strategy<Value = Histogram> {
+        proptest::collection::vec(any::<u64>(), 0..40).prop_map(|vs| {
+            let mut h = Histogram::new();
+            for v in vs {
+                h.record(v);
+            }
+            h
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn merge_preserves_total_count(a in arb_histogram(), b in arb_histogram()) {
+            let (ta, tb) = (a.total(), b.total());
+            let mut m = a;
+            m.merge(&b);
+            prop_assert_eq!(m.total(), ta + tb);
+        }
+
+        #[test]
+        fn merge_is_commutative(a in arb_histogram(), b in arb_histogram()) {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn merge_is_associative(
+            a in arb_histogram(),
+            b in arb_histogram(),
+            c in arb_histogram(),
+        ) {
+            // (a ⊎ b) ⊎ c
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            // a ⊎ (b ⊎ c)
+            let mut bc = b;
+            bc.merge(&c);
+            let mut right = a;
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn record_lands_in_its_own_octave(v in any::<u64>()) {
+            let mut h = Histogram::new();
+            h.record(v);
+            let i = Histogram::bucket_of(v);
+            prop_assert_eq!(h.bucket(i), 1);
+            prop_assert_eq!(h.total(), 1);
+            // The bucket's floor is the largest power of two ≤ v (0 for 0).
+            prop_assert!(Histogram::bucket_floor(i) <= v.max(1));
+            if i + 1 < HIST_BUCKETS {
+                prop_assert!(v < Histogram::bucket_floor(i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counts_and_replaces_values() {
+        let mut a = MetricsSnapshot::new();
+        a.push_count("conflicts", 10);
+        a.push_value("mean_lbd", 3.0);
+        let mut b = MetricsSnapshot::new();
+        b.push_count("conflicts", 5);
+        b.push_value("mean_lbd", 4.0);
+        b.push_count("restarts", 2);
+        a.merge(&b);
+        assert_eq!(a.count("conflicts"), 15);
+        assert_eq!(a.value("mean_lbd"), 4.0);
+        assert_eq!(a.count("restarts"), 2);
+        assert_eq!(a.count("missing"), 0);
+    }
+}

@@ -36,7 +36,7 @@ mod solver;
 
 pub use dimacs::{Cnf, ParseDimacsError};
 pub use lit::{LBool, Lit, Var};
-pub use solver::{SatResult, Solver, SolverConfig, SolverStats};
+pub use solver::{SatResult, Solver, SolverConfig, SolverStats, UnknownCause};
 
 #[cfg(test)]
 mod proptests {

@@ -16,6 +16,12 @@ use std::sync::Arc;
 /// protection).
 const CORE_LBD: u32 = 3;
 
+/// Conflicts between observability sampling points in the CDCL loop: at
+/// each multiple the solver bumps the heartbeat conflict counter and, when
+/// tracing, emits a conflicts/sec counter sample. Power of two so the
+/// check compiles to a mask.
+const CONFLICT_SAMPLE: u64 = 2048;
+
 /// High bit of a [`Watcher`]'s clause reference, set for binary clauses.
 /// A binary clause propagates entirely from its watcher — the blocker *is*
 /// the other literal — so the watch scan never has to load the clause.
@@ -100,6 +106,27 @@ pub enum SatResult {
     Unknown,
 }
 
+/// Why the most recent [`Solver::solve`] call returned
+/// [`SatResult::Unknown`] — the ingredient batch drivers need to report
+/// *which* budget tripped instead of a bare "inconclusive".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnknownCause {
+    /// The cooperative stop flag was raised (cancellation, or a watchdog
+    /// acting on a wall-clock timeout).
+    Interrupted,
+    /// The configured [`SolverConfig::conflict_budget`] was exhausted.
+    ConflictBudget,
+}
+
+impl std::fmt::Display for UnknownCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnknownCause::Interrupted => write!(f, "interrupted"),
+            UnknownCause::ConflictBudget => write!(f, "conflict_budget"),
+        }
+    }
+}
+
 /// Aggregate statistics of a solver run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SolverStats {
@@ -139,6 +166,25 @@ impl SolverStats {
         } else {
             self.lbd_sum as f64 / self.learned as f64
         }
+    }
+
+    /// Lowers the stats into a [`veriqec_obs::MetricsSnapshot`] — the one
+    /// table the batch reports' markdown and JSON solver columns are
+    /// generated from. Counts merge additively across workers; `mean_lbd`
+    /// is derived here so it never has to be re-threaded by hand.
+    pub fn to_metrics(&self) -> veriqec_obs::MetricsSnapshot {
+        let mut m = veriqec_obs::MetricsSnapshot::new();
+        m.push_count("conflicts", self.conflicts);
+        m.push_count("decisions", self.decisions);
+        m.push_count("propagations", self.propagations);
+        m.push_count("restarts", self.restarts);
+        m.push_count("learnts", self.learnts);
+        m.push_count("learned", self.learned);
+        m.push_count("minimized_lits", self.minimized_lits);
+        m.push_count("gc_runs", self.gc_runs);
+        m.push_count("arena_bytes", self.arena_bytes);
+        m.push_value("mean_lbd", self.mean_learnt_lbd());
+        m
     }
 }
 
@@ -225,6 +271,9 @@ pub struct Solver {
     /// Cooperative cancellation: when set, [`Solver::solve`] aborts at the
     /// next conflict/decision boundary with [`SatResult::Unknown`].
     stop: Option<Arc<AtomicBool>>,
+    /// Why the last `solve` returned [`SatResult::Unknown`] (see
+    /// [`Solver::unknown_cause`]).
+    unknown_cause: Option<UnknownCause>,
 }
 
 impl Default for Solver {
@@ -268,6 +317,7 @@ impl Solver {
             level_stamp: vec![0],
             lbd_stamp: 0,
             stop: None,
+            unknown_cause: None,
         }
     }
 
@@ -286,6 +336,13 @@ impl Solver {
         self.stop
             .as_ref()
             .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Why the most recent [`Solver::solve`] returned
+    /// [`SatResult::Unknown`], or `None` if it returned Sat/Unsat (or was
+    /// never called). Reset at the start of every solve.
+    pub fn unknown_cause(&self) -> Option<UnknownCause> {
+        self.unknown_cause
     }
 
     /// Allocates a fresh variable.
@@ -334,6 +391,7 @@ impl Solver {
     /// Learnt clauses are implied and therefore omitted. An unsatisfiable
     /// root state exports as the empty clause.
     pub fn export_cnf(&self) -> crate::Cnf {
+        let _span = veriqec_obs::span("sat", "export_cnf");
         let mut clauses = Vec::new();
         if !self.ok {
             clauses.push(Vec::new());
@@ -869,6 +927,11 @@ impl Solver {
         self.arena.finish_gc(compacted);
         self.stats.gc_runs += 1;
         self.stats.arena_bytes = self.arena.bytes() as u64;
+        veriqec_obs::instant(
+            "sat",
+            "clause_gc",
+            &[("arena_bytes", self.stats.arena_bytes as f64)],
+        );
     }
 
     /// Solves under the given assumption literals.
@@ -876,9 +939,16 @@ impl Solver {
     /// Assumptions are temporary: the solver state is reusable afterwards for
     /// further `add_clause`/`solve` calls (incremental solving).
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.unknown_cause = None;
         if !self.ok {
             return SatResult::Unsat;
         }
+        let _span = veriqec_obs::span("sat", "solve");
+        // Cache the observability gate once per solve: the conflict loop
+        // below must not pay even an atomic load per iteration when both
+        // tracing and the heartbeat are off.
+        let track = veriqec_obs::active();
+        let solve_t0 = track.then(std::time::Instant::now);
         self.backtrack_to(0);
         if self.propagate().is_some() {
             self.ok = false;
@@ -895,11 +965,15 @@ impl Solver {
         loop {
             if self.stop_requested() {
                 self.backtrack_to(0);
+                self.unknown_cause = Some(UnknownCause::Interrupted);
                 return SatResult::Unknown;
             }
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_this_solve += 1;
+                if track && conflicts_this_solve.is_multiple_of(CONFLICT_SAMPLE) {
+                    self.sample_conflicts(conflicts_this_solve, solve_t0);
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return SatResult::Unsat;
@@ -937,6 +1011,12 @@ impl Solver {
                 if let Some(budget) = self.config.conflict_budget {
                     if conflicts_this_solve >= budget {
                         self.backtrack_to(0);
+                        self.unknown_cause = Some(UnknownCause::ConflictBudget);
+                        veriqec_obs::instant(
+                            "sat",
+                            "conflict_budget_tripped",
+                            &[("budget", budget as f64)],
+                        );
                         return SatResult::Unknown;
                     }
                 }
@@ -946,10 +1026,24 @@ impl Solver {
                     conflicts_until_restart =
                         conflicts_this_solve + self.restart_interval(restart_count);
                     self.backtrack_to(0);
+                    veriqec_obs::instant(
+                        "sat",
+                        "restart",
+                        &[("conflicts", conflicts_this_solve as f64)],
+                    );
                 }
                 if self.config.use_learning && self.stats.learnts > max_learnts {
+                    let before = self.stats.learnts;
                     self.reduce_learnts();
                     max_learnts += max_learnts / 2;
+                    veriqec_obs::instant(
+                        "sat",
+                        "reduce_learnts",
+                        &[
+                            ("learnts_before", before as f64),
+                            ("learnts_after", self.stats.learnts as f64),
+                        ],
+                    );
                 }
             } else {
                 // No conflict: extend with assumptions, then decide.
@@ -989,6 +1083,28 @@ impl Solver {
 
     fn restart_interval(&self, i: u64) -> u64 {
         self.config.restart_base * luby(i + 1)
+    }
+
+    /// Observability sampling point of the CDCL loop, reached every
+    /// [`CONFLICT_SAMPLE`] conflicts while tracing or the heartbeat is on:
+    /// publishes progress to the global conflict counter and emits
+    /// cumulative/rate counter samples for the trace.
+    #[cold]
+    fn sample_conflicts(&self, conflicts_this_solve: u64, t0: Option<std::time::Instant>) {
+        veriqec_obs::heartbeat::CONFLICTS.add(CONFLICT_SAMPLE);
+        if veriqec_obs::enabled() {
+            veriqec_obs::counter("sat", "conflicts", self.stats.conflicts as f64);
+            if let Some(t0) = t0 {
+                let secs = t0.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    veriqec_obs::counter(
+                        "sat",
+                        "conflicts_per_sec",
+                        conflicts_this_solve as f64 / secs,
+                    );
+                }
+            }
+        }
     }
 
     /// Value of a literal in the last satisfying model.

@@ -477,11 +477,18 @@ impl SmtContext {
 
     /// Checks satisfiability under optional assumption literals.
     pub fn check(&mut self, assumptions: &[Lit]) -> CheckResult {
+        let _span = veriqec_obs::span("smt", "check");
         match self.solver.solve(assumptions) {
             SatResult::Sat => CheckResult::Sat,
             SatResult::Unsat => CheckResult::Unsat,
             SatResult::Unknown => CheckResult::Unknown,
         }
+    }
+
+    /// Why the last [`SmtContext::check`] returned
+    /// [`CheckResult::Unknown`] (see [`veriqec_sat::UnknownCause`]).
+    pub fn unknown_cause(&self) -> Option<veriqec_sat::UnknownCause> {
+        self.solver.unknown_cause()
     }
 
     /// Extracts the model restricted to classical variables seen so far.
@@ -513,6 +520,7 @@ impl SmtContext {
     /// by the classical variables, so the exported CNF has exactly one model
     /// per satisfying assignment of the classical variables.
     pub fn export_cnf(&self) -> veriqec_sat::Cnf {
+        let _span = veriqec_obs::span("smt", "export_cnf");
         self.solver.export_cnf()
     }
 

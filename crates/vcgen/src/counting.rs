@@ -49,6 +49,7 @@ impl VcProblem {
     /// A problem with no targets is trivially verified; its instance is the
     /// empty-clause CNF with zero models.
     pub fn counting_instance(&self, indicators: &[VarId]) -> CountingInstance {
+        let _span = veriqec_obs::span("vcgen", "counting_instance");
         let mut ctx = SmtContext::with_config(SolverConfig::default());
         self.assert_base(&mut ctx);
         match self.goal_lit(&mut ctx) {

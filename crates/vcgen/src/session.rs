@@ -36,6 +36,7 @@ pub struct VcSession {
 impl VcSession {
     /// Encodes `problem` (base + refutation goal) into a fresh context.
     pub fn new(problem: &VcProblem, config: SolverConfig) -> Self {
+        let _span = veriqec_obs::span("vcgen", "encode");
         let mut ctx = SmtContext::with_config(config);
         problem.assert_base(&mut ctx);
         let trivial = match problem.goal_lit(&mut ctx) {
@@ -71,11 +72,19 @@ impl VcSession {
         if self.trivial {
             return VcOutcome::Verified;
         }
+        let _span = veriqec_obs::span("vcgen", "query");
         match self.ctx.check(assumptions) {
             CheckResult::Unsat => VcOutcome::Verified,
             CheckResult::Sat => VcOutcome::CounterExample(self.ctx.model()),
             CheckResult::Unknown => VcOutcome::Unknown,
         }
+    }
+
+    /// Why the last [`VcSession::query`] came back [`VcOutcome::Unknown`]
+    /// (see [`veriqec_sat::UnknownCause`]) — the piece batch drivers use to
+    /// report *which* budget tripped.
+    pub fn unknown_cause(&self) -> Option<veriqec_sat::UnknownCause> {
+        self.ctx.unknown_cause()
     }
 
     /// Installs a cooperative stop flag on the underlying solver (see

@@ -12,6 +12,7 @@ pub use veriqec_dd;
 pub use veriqec_decoder;
 pub use veriqec_gf2;
 pub use veriqec_logic;
+pub use veriqec_obs;
 pub use veriqec_pauli;
 pub use veriqec_prog;
 pub use veriqec_qsim;

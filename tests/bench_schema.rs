@@ -26,6 +26,9 @@ fn check_envelope(doc: &Json) -> Vec<Json> {
         assert!(job.get("name").unwrap().as_str().is_some());
         assert!(job.get("outcome").unwrap().as_str().is_some());
         assert!(job.get("busy_ms").unwrap().as_f64().unwrap() >= 0.0);
+        // Queue wait is measured from enqueue to first worker claim and is
+        // reported separately from busy time (busy excludes it).
+        assert!(job.get("queue_wait_ms").unwrap().as_f64().unwrap() >= 0.0);
         assert!(job.get("subtasks").unwrap().as_f64().unwrap() >= 0.0);
         // Solver-statistics block: the clause-database counters added with
         // the arena rewrite ride along on every job.
