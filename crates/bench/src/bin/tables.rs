@@ -73,20 +73,37 @@ static TRACE_DONE: AtomicBool = AtomicBool::new(false);
 /// catches instrumentation that silently stopped emitting.
 static REQUIRED_CATS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
 
+/// The operand of a value-taking flag (`--check <path>`, `--trace <path>`,
+/// …): `None` when the flag is absent, the operand otherwise. A missing or
+/// flag-shaped operand is a usage error and exits 2 — silently consuming
+/// the next flag as a value (`tables kernels --check --trace out.json`
+/// reading `--trace` as the baseline path) is exactly the bug this
+/// replaces.
+fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        Some(v) => {
+            eprintln!("error: {flag} needs a value, but the next argument is the flag {v:?}");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("error: {flag} needs a value");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Parses `--trace <path>` and `--progress` and arms the corresponding
 /// veriqec_obs machinery before any mode runs.
 fn init_observability() {
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(path) = args
-        .iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1))
-    {
-        let _ = TRACE_PATH.set(path.clone());
+    if let Some(path) = flag_value("--trace") {
+        let _ = TRACE_PATH.set(path);
         *COLLECTOR.lock().unwrap() = Some(veriqec_obs::Collector::new());
         veriqec_obs::set_enabled(true);
     }
-    if args.iter().any(|a| a == "--progress") {
+    if std::env::args().any(|a| a == "--progress") {
         veriqec_obs::heartbeat::set_progress(true);
     }
 }
@@ -179,20 +196,27 @@ fn dispatch() {
     }
     if what == "kernels" {
         let quick = std::env::args().any(|a| a == "--quick");
-        let baseline = std::env::args().skip_while(|a| a != "--check").nth(1);
+        let baseline = flag_value("--check");
         kernels(quick, baseline.as_deref());
         return;
     }
     if what == "solver" {
         let quick = std::env::args().any(|a| a == "--quick");
-        let baseline = std::env::args().skip_while(|a| a != "--check").nth(1);
+        let baseline = flag_value("--check");
         solver(quick, baseline.as_deref());
         return;
     }
     if what == "dd" {
         let quick = std::env::args().any(|a| a == "--quick");
-        let baseline = std::env::args().skip_while(|a| a != "--check").nth(1);
+        let baseline = flag_value("--check");
         dd(quick, baseline.as_deref());
+        return;
+    }
+    if what == "serve" {
+        serve(
+            std::env::args().any(|a| a == "--smoke"),
+            flag_value("--addr"),
+        );
         return;
     }
     if what == "all" || what == "fig4" {
@@ -651,6 +675,45 @@ fn fig6(max_d: usize) {
         assert_eq!(a, DetectionOutcome::AllDetected);
         assert!(matches!(b, DetectionOutcome::UndetectedLogical { .. }));
         println!("| {d} | {ta:?} | {tb:?} | {} |", session.encode_count());
+    }
+}
+
+/// `tables serve`: the resident verification daemon, or its scripted CI
+/// smoke with `--smoke`. The smoke forks the server in-process and drives
+/// cache-cold/cache-hot/warm-session/malformed/deadline-exceeded requests
+/// over a real socket (see `veriqec_serve::smoke`); daemon mode binds
+/// `--addr` (default `127.0.0.1:7199`) and drains on SIGTERM or a
+/// `{"op":"shutdown"}` request.
+fn serve(smoke: bool, addr: Option<String>) {
+    use veriqec_serve::server::{ServeConfig, Server};
+    if smoke {
+        // The smoke drives the whole vertical: serve request handling,
+        // engine scheduling (count requests), smt/sat sessions
+        // (detection/distance/fault-tolerance), and dd compiles.
+        *REQUIRED_CATS.lock().unwrap() = vec!["serve", "engine", "smt", "sat", "dd"];
+        if let Err(msg) = veriqec_serve::smoke::run_smoke() {
+            eprintln!("error: serve smoke failed: {msg}");
+            finalize_trace();
+            std::process::exit(1);
+        }
+        println!("\nserve smoke passed");
+        return;
+    }
+    let config = ServeConfig {
+        addr: addr.unwrap_or_else(|| "127.0.0.1:7199".into()),
+        install_sigterm: true,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(config).expect("bind listener");
+    println!(
+        "veriqec_serve listening on {} (newline-delimited JSON; \
+         {{\"op\":\"shutdown\"}} or SIGTERM drains)",
+        handle.addr()
+    );
+    if let Err(e) = handle.join() {
+        eprintln!("error: serve drain: {e}");
+        finalize_trace();
+        std::process::exit(1);
     }
 }
 

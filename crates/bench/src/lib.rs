@@ -7,7 +7,9 @@
 //! (`tables kernels` → `BENCH_kernels.json`), [`solver_bench`] is the CDCL
 //! throughput gate next to it (`tables solver` → `BENCH_solver.json`), and
 //! [`json`] is the minimal parser that the gates and the artifact schema
-//! tests read those reports with (the tree is offline — no serde), and
+//! tests read those reports with (the tree is offline — no serde; the
+//! parser itself lives in `veriqec_serve`, which also feeds it the daemon's
+//! line protocol, and is re-exported here for the gates), and
 //! [`trace`] validates the Chrome trace-event artifacts `tables --trace`
 //! emits before they are written or uploaded.
 
@@ -17,7 +19,7 @@ use veriqec_codes::{rotated_surface, StabilizerCode};
 use veriqec_vcgen::VcProblem;
 
 pub mod dd_bench;
-pub mod json;
+pub use veriqec_serve::json;
 pub mod kernels;
 pub mod solver_bench;
 pub mod trace;

@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use veriqec_cexpr::{BExp, CMem, VarId};
@@ -472,6 +472,25 @@ pub enum JobKind {
         /// Largest measurement budget to sweep (inclusive).
         max_t_meas: usize,
     },
+    /// An opaque embedder-supplied callable: work that is not one of the
+    /// built-in verification shapes still rides the pool, the cancel
+    /// plumbing, and the reporting (the resilience tests inject
+    /// deliberately panicking jobs through this).
+    Custom {
+        /// The callable; receives the job's cancel flag.
+        run: CustomJobFn,
+    },
+}
+
+/// The callable behind [`JobKind::Custom`]: gets the job's cancel flag
+/// (doubling as the cooperative stop flag) and returns the job's outcome.
+#[derive(Clone)]
+pub struct CustomJobFn(pub Arc<dyn Fn(&AtomicBool) -> JobOutcome + Send + Sync>);
+
+impl std::fmt::Debug for CustomJobFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CustomJobFn(..)")
+    }
 }
 
 impl Job {
@@ -542,6 +561,19 @@ impl Job {
                 meas_vars: scenario.meas_error_vars.clone(),
                 max_t_data,
                 max_t_meas,
+            },
+        }
+    }
+
+    /// An opaque custom job (see [`JobKind::Custom`]).
+    pub fn custom(
+        name: impl Into<String>,
+        run: impl Fn(&AtomicBool) -> JobOutcome + Send + Sync + 'static,
+    ) -> Job {
+        Job {
+            name: name.into(),
+            kind: JobKind::Custom {
+                run: CustomJobFn(Arc::new(run)),
             },
         }
     }
@@ -961,6 +993,26 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Locks a mutex, recovering from poisoning: a worker that panicked
+/// mid-update left at worst a partially bumped statistic behind, and a
+/// resident process must degrade that to one job erroring — not cascade
+/// panics through every later status read until the daemon dies.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort text of a panic payload (the `&str`/`String` payloads that
+/// `panic!` and the assert macros produce).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 // ----------------------------------------------------------- the work queue
 
 /// A claimable work item: one enumeration cube of a correction job, or the
@@ -1010,7 +1062,8 @@ impl JobState {
             JobKind::Detection { .. }
             | JobKind::Distance { .. }
             | JobKind::Count { .. }
-            | JobKind::FaultTolerance { .. } => JobSource::Whole { claimed: false },
+            | JobKind::FaultTolerance { .. }
+            | JobKind::Custom { .. } => JobSource::Whole { claimed: false },
         };
         JobState {
             name: job.name,
@@ -1030,7 +1083,7 @@ impl JobState {
 
     /// Records how long the job waited in the queue, on its first claim.
     fn mark_claimed(&self) {
-        let mut qw = self.queue_wait.lock().expect("poisoned");
+        let mut qw = lock_unpoisoned(&self.queue_wait);
         if qw.is_none() {
             *qw = Some(self.queued_at.elapsed());
         }
@@ -1039,7 +1092,7 @@ impl JobState {
     /// Records the first budget-trip reason (later ones add no information:
     /// the first trip is what stopped the job making progress).
     fn record_reason(&self, reason: String) {
-        let mut r = self.reason.lock().expect("poisoned");
+        let mut r = lock_unpoisoned(&self.reason);
         if r.is_none() {
             *r = Some(reason);
         }
@@ -1049,7 +1102,7 @@ impl JobState {
     /// counterexample always wins over a previously recorded `Unknown`
     /// (another worker's budget exhaustion must not mask a real violation).
     fn record(&self, outcome: JobOutcome) {
-        let mut o = self.outcome.lock().expect("poisoned");
+        let mut o = lock_unpoisoned(&self.outcome);
         let displaces = matches!(outcome, JobOutcome::CounterExample(_))
             && matches!(*o, Some(JobOutcome::Unknown));
         if o.is_none() || displaces {
@@ -1066,7 +1119,7 @@ fn next_item(states: &[JobState]) -> Option<WorkItem> {
         if st.cancel.load(Ordering::Relaxed) {
             continue;
         }
-        let mut src = st.source.lock().expect("poisoned");
+        let mut src = lock_unpoisoned(&st.source);
         match &mut *src {
             JobSource::Cubes(iter) => {
                 if let Some(cube) = iter.next() {
@@ -1125,9 +1178,14 @@ impl Engine {
         let start = Instant::now();
         let _batch_span = veriqec_obs::span("engine", "batch");
         let states: Vec<JobState> = jobs.into_iter().map(JobState::new).collect();
+        // Unconditional (the stores are relaxed atomics, cheap either way):
+        // a resident process runs many batches in one lifetime, and stale
+        // conflict/DD/phase state from the previous batch would otherwise
+        // surface as a bogus jobs-done fraction and negative-drift ETA the
+        // moment someone turns the heartbeat on mid-run.
+        veriqec_obs::heartbeat::reset_progress();
+        veriqec_obs::heartbeat::JOBS_TOTAL.set(states.len() as u64);
         if veriqec_obs::active() {
-            veriqec_obs::heartbeat::JOBS_DONE.reset();
-            veriqec_obs::heartbeat::JOBS_TOTAL.set(states.len() as u64);
             // Indices, not names, to keep the instants cheap; the per-claim
             // job spans carry the names.
             for i in 0..states.len() {
@@ -1196,7 +1254,10 @@ impl Engine {
         let jobs = states
             .into_iter()
             .map(|st| {
-                let recorded = st.outcome.into_inner().expect("poisoned");
+                let recorded = st
+                    .outcome
+                    .into_inner()
+                    .unwrap_or_else(PoisonError::into_inner);
                 let cancelled = batch_cancelled || st.cancel.load(Ordering::Relaxed);
                 let outcome = match recorded {
                     Some(o) => o,
@@ -1209,7 +1270,10 @@ impl Engine {
                         _ => JobOutcome::Cancelled,
                     },
                 };
-                let mut reason = st.reason.into_inner().expect("poisoned");
+                let mut reason = st
+                    .reason
+                    .into_inner()
+                    .unwrap_or_else(PoisonError::into_inner);
                 if reason.is_none() && matches!(outcome, JobOutcome::Cancelled) {
                     reason = Some("cancelled".to_string());
                 }
@@ -1217,16 +1281,19 @@ impl Engine {
                     name: st.name,
                     outcome,
                     subtasks: st.issued.into_inner(),
-                    busy_time: st.busy.into_inner().expect("poisoned"),
+                    busy_time: st.busy.into_inner().unwrap_or_else(PoisonError::into_inner),
                     // A job no worker ever claimed waited out the batch.
                     queue_wait: st
                         .queue_wait
                         .into_inner()
-                        .expect("poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .unwrap_or_else(|| start.elapsed()),
                     reason,
-                    stats: st.stats.into_inner().expect("poisoned"),
-                    dd: st.dd.into_inner().expect("poisoned"),
+                    stats: st
+                        .stats
+                        .into_inner()
+                        .unwrap_or_else(PoisonError::into_inner),
+                    dd: st.dd.into_inner().unwrap_or_else(PoisonError::into_inner),
                 }
             })
             .collect();
@@ -1267,7 +1334,11 @@ impl Engine {
             let _job_span =
                 veriqec_obs::span_with("engine", || format!("job:{}", states[idx].name));
             let t0 = Instant::now();
-            let job_idx = match item {
+            // One work item is the panic-containment unit: a panicking job
+            // (bad input, a bug in one backend) must degrade to that job
+            // erroring with a recorded reason — never to a dead worker or a
+            // poisoned-mutex cascade, which a resident server cannot afford.
+            let work = std::panic::AssertUnwindSafe(|| match item {
                 WorkItem::Cube(j, cube) => {
                     let st = &states[j];
                     let session = sessions.entry(j).or_insert_with(|| {
@@ -1308,7 +1379,6 @@ impl Engine {
                             }
                         }
                     }
-                    j
                 }
                 WorkItem::Whole(j) => {
                     let st = &states[j];
@@ -1322,7 +1392,7 @@ impl Engine {
                                     st.record_reason(cause.to_string());
                                 }
                             }
-                            *st.stats.lock().expect("poisoned") += s.solver_stats();
+                            *lock_unpoisoned(&st.stats) += s.solver_stats();
                             st.record(JobOutcome::Detection(out));
                         }
                         JobKind::Distance { code, max } => {
@@ -1334,7 +1404,7 @@ impl Engine {
                                     st.record_reason(cause.to_string());
                                 }
                             }
-                            *st.stats.lock().expect("poisoned") += s.solver_stats();
+                            *lock_unpoisoned(&st.stats) += s.solver_stats();
                             st.record(JobOutcome::Distance(out));
                         }
                         JobKind::Count { code, config } => {
@@ -1345,13 +1415,13 @@ impl Engine {
                             match FailureEnumerator::new(code, &config) {
                                 Ok(mut fe) => {
                                     let out = fe.enumerator();
-                                    *st.dd.lock().expect("poisoned") += fe.dd_stats();
+                                    *lock_unpoisoned(&st.dd) += fe.dd_stats();
                                     st.record(JobOutcome::Enumerator(out));
                                 }
                                 Err(CompileError::NodeLimit { nodes }) => {
                                     // Surface how far the diagram got so a
                                     // report consumer can tune the budget.
-                                    st.dd.lock().expect("poisoned").nodes += nodes as u64;
+                                    lock_unpoisoned(&st.dd).nodes += nodes as u64;
                                     st.record_reason(format!("node_limit({nodes} nodes)"));
                                     st.record(JobOutcome::Unknown);
                                 }
@@ -1393,7 +1463,7 @@ impl Engine {
                                     }
                                 }
                             }
-                            *st.stats.lock().expect("poisoned") += sweep.session().solver_stats();
+                            *lock_unpoisoned(&st.stats) += sweep.session().solver_stats();
                             if points.iter().any(|p| p.correctable.is_none()) {
                                 if let Some(cause) = sweep.session().unknown_cause() {
                                     st.record_reason(cause.to_string());
@@ -1405,21 +1475,34 @@ impl Engine {
                                 st.record(JobOutcome::Frontier(FaultToleranceFrontier { points }));
                             }
                         }
+                        JobKind::Custom { run } => {
+                            let out = (run.0)(&st.cancel);
+                            st.record(out);
+                        }
                         JobKind::Correction { .. } => {
                             unreachable!("correction jobs stream cubes")
                         }
                     }
-                    j
                 }
-            };
-            *states[job_idx].busy.lock().expect("poisoned") += t0.elapsed();
+            });
+            if let Err(payload) = std::panic::catch_unwind(work) {
+                let st = &states[idx];
+                st.record_reason(format!("panicked: {}", panic_message(payload.as_ref())));
+                st.record(JobOutcome::Unknown);
+                // The job's state is suspect: stop handing it work, abort
+                // its in-flight queries on other workers, drop any session
+                // this worker kept for it.
+                st.cancel.store(true, Ordering::Relaxed);
+                sessions.remove(&idx);
+            }
+            *lock_unpoisoned(&states[idx].busy) += t0.elapsed();
             if is_whole {
                 veriqec_obs::heartbeat::JOBS_DONE.add(1);
             }
         }
         // Fold this worker's session statistics into their jobs.
         for (j, s) in sessions {
-            *states[j].stats.lock().expect("poisoned") += s.solver_stats();
+            *lock_unpoisoned(&states[j].stats) += s.solver_stats();
         }
         // Hand this worker's buffered trace events to the global sink
         // before the closure returns. `thread::scope` considers a thread
@@ -1435,7 +1518,7 @@ mod tests {
     use super::*;
     use crate::scenario::{memory_scenario, ErrorModel};
     use crate::tasks::{build_problem, verify_correction, verify_detection};
-    use veriqec_codes::{rotated_surface, steane};
+    use veriqec_codes::{five_qubit, rotated_surface, steane};
 
     #[test]
     fn conclusiveness_separates_verdicts_from_partial_results() {
@@ -1728,6 +1811,63 @@ mod tests {
             "{:?}",
             report.jobs[0].outcome
         );
+    }
+
+    #[test]
+    fn panicking_job_degrades_to_that_job_erroring() {
+        // A deliberately panicking job next to real work: the panic must be
+        // contained to its own job (Unknown + "panicked: …" reason) while
+        // the neighbours run to their verdicts and every later status read
+        // — record folds, report rendering — survives the poisoned mutexes.
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            solver: SolverConfig::default(),
+        });
+        let report = engine.run(vec![
+            Job::custom("boom", |_| panic!("deliberate test panic")),
+            Job::distance("survivor_distance", steane(), 4),
+            Job::detection("survivor_detection", five_qubit(), 3),
+        ]);
+        assert!(
+            matches!(report.jobs[0].outcome, JobOutcome::Unknown),
+            "{:?}",
+            report.jobs[0].outcome
+        );
+        assert_eq!(
+            report.jobs[0].reason.as_deref(),
+            Some("panicked: deliberate test panic")
+        );
+        assert!(matches!(
+            report.jobs[1].outcome,
+            JobOutcome::Distance(DistanceOutcome::Exact(3))
+        ));
+        assert!(matches!(
+            report.jobs[2].outcome,
+            JobOutcome::Detection(DetectionOutcome::AllDetected)
+        ));
+        // The failed job is a partial result, listed with its reason.
+        assert_eq!(
+            report.incomplete_jobs_with_reasons(),
+            vec![("boom", Some("panicked: deliberate test panic"))]
+        );
+        assert!(report
+            .to_json()
+            .contains("\"reason\":\"panicked: deliberate test panic\""));
+        assert!(report.to_markdown().contains("| boom | unknown |"));
+    }
+
+    #[test]
+    fn custom_jobs_ride_the_pool_and_see_their_cancel_flag() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            solver: SolverConfig::default(),
+        });
+        let report = engine.run(vec![Job::custom("flagged", |cancel| {
+            assert!(!cancel.load(Ordering::Relaxed));
+            JobOutcome::Verified
+        })]);
+        assert!(report.jobs[0].outcome.is_verified());
+        assert_eq!(report.jobs[0].subtasks, 1);
     }
 
     #[test]

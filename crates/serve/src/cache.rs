@@ -1,0 +1,136 @@
+//! The content-addressed result cache.
+//!
+//! A verdict is a pure function of the request content — job kind, code,
+//! scenario, schedule, and solver/diagram budgets — so the daemon addresses
+//! finished verdicts by an FNV-1a hash of the canonical request string
+//! (see [`crate::protocol::canonical_request`]). Only *conclusive*
+//! outcomes are cached: an inconclusive or deadline-tripped answer says
+//! something about the budget, not the code, and a later request with the
+//! same content deserves a fresh attempt. Hash collisions are ruled out by
+//! storing the canonical string and comparing it on lookup.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// FNV-1a over the canonical request bytes: deterministic across runs and
+/// platforms (unlike `DefaultHasher`), so cache keys are stable enough to
+/// echo to clients and grep in traces.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One cached verdict.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// The canonical request string (collision check).
+    pub canonical: String,
+    /// The outcome tag of the cached verdict (`"distance_exact"`, …).
+    pub outcome: String,
+    /// The full single-job `BatchReport` JSON of the original run.
+    pub report_json: String,
+}
+
+/// A bounded map from request hash to verdict.
+///
+/// Eviction is whole-table: past `cap` entries the table is cleared. The
+/// cache exists to absorb repeat traffic (dashboards re-asking the same
+/// question), not to be a tuned LRU; a rare full miss after overflow is an
+/// acceptable trade for zero bookkeeping on the hit path.
+#[derive(Debug)]
+pub struct ResultCache {
+    map: Mutex<HashMap<u64, CacheEntry>>,
+    cap: usize,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `cap` verdicts.
+    pub fn new(cap: usize) -> Self {
+        ResultCache {
+            map: Mutex::new(HashMap::new()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Looks up the verdict for `canonical`, if one is cached under its
+    /// hash *and* the stored canonical string matches.
+    pub fn lookup(&self, key: u64, canonical: &str) -> Option<CacheEntry> {
+        let map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.get(&key).filter(|e| e.canonical == canonical).cloned()
+    }
+
+    /// Stores a verdict. Existing entries under the same hash are replaced.
+    pub fn insert(&self, key: u64, entry: CacheEntry) {
+        let mut map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if map.len() >= self.cap && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.insert(key, entry);
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(canonical: &str) -> CacheEntry {
+        CacheEntry {
+            canonical: canonical.to_string(),
+            outcome: "distance_exact".into(),
+            report_json: "{}".into(),
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn lookup_checks_the_canonical_string_not_just_the_hash() {
+        let cache = ResultCache::new(8);
+        let key = fnv1a(b"kind=distance;code=steane");
+        cache.insert(key, entry("kind=distance;code=steane"));
+        assert!(cache.lookup(key, "kind=distance;code=steane").is_some());
+        // A (hypothetical) colliding request must miss, not alias.
+        assert!(cache.lookup(key, "kind=distance;code=shor9").is_none());
+        assert!(cache.lookup(key ^ 1, "kind=distance;code=steane").is_none());
+    }
+
+    #[test]
+    fn overflow_clears_rather_than_grows() {
+        let cache = ResultCache::new(2);
+        for i in 0..5u64 {
+            cache.insert(i, entry(&format!("c{i}")));
+            assert!(cache.len() <= 2);
+        }
+        // The most recent insert always lands.
+        assert!(cache.lookup(4, "c4").is_some());
+    }
+}

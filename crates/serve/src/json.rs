@@ -1,12 +1,15 @@
-//! A minimal JSON reader for the BENCH artifacts.
+//! A minimal JSON reader shared by the serve line protocol and the BENCH
+//! artifacts.
 //!
-//! The workspace is offline (no serde), but the CI perf-regression gate
-//! must read `bench_baselines.json` and the artifact schema tests must
-//! parse the `BENCH_*.json` reports the `--quick` modes write. This is a
-//! small recursive-descent parser covering exactly the JSON those writers
-//! emit: objects, arrays, strings with the standard escapes, `f64`
-//! numbers, booleans and `null`. It is a reader for our own artifacts, not
-//! a general-purpose JSON library.
+//! The workspace is offline (no serde), but the daemon must parse one
+//! request object per line, the CI perf-regression gate must read
+//! `bench_baselines.json`, and the artifact schema tests must parse the
+//! `BENCH_*.json` reports the `--quick` modes write (`veriqec_bench`
+//! re-exports this module for those consumers). This is a small
+//! recursive-descent parser covering exactly the JSON those writers emit:
+//! objects, arrays, strings with the standard escapes, `f64` numbers,
+//! booleans and `null`. It is a reader for our own formats, not a
+//! general-purpose JSON library.
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]

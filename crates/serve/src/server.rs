@@ -1,0 +1,965 @@
+//! The resident daemon: TCP accept loop, admission control, executor pool,
+//! and the verification paths behind one request.
+//!
+//! Threading model: one accept thread (non-blocking, polling the shutdown
+//! flag), one handler thread per connection (reads lines, answers cache
+//! hits and control ops inline, enqueues verification work), and a small
+//! executor pool draining the bounded pending queue. Admission control is
+//! the queue bound: past the high-water mark new work is shed with a
+//! `"busy"` error instead of being buffered without limit. Deadlines are
+//! lowered onto the sessions' cooperative stop flags by a per-request
+//! watchdog thread. Shutdown (a `{"op":"shutdown"}` request, SIGTERM when
+//! installed, or [`ServerHandle::shutdown`]) stops the accept loop,
+//! drains the pending queue, and joins every thread.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use veriqec::engine::{
+    BatchReport, DetectionSession, Engine, EngineConfig, FaultToleranceFrontier,
+    FaultToleranceSweep, FrontierPoint, Job, JobOutcome, JobReport,
+};
+use veriqec::scenario::faulty_memory_scenario;
+use veriqec_codes::ExtractionSchedule;
+use veriqec_dd::CompileConfig;
+use veriqec_sat::SolverConfig;
+use veriqec_vcgen::VcOutcome;
+
+use crate::cache::{fnv1a, CacheEntry, ResultCache};
+use crate::pool::{SessionPool, WarmSession};
+use crate::protocol::{
+    canonical_request, json_escape, parse_request, resolve_code, Request, RequestKind,
+    VerifyRequest,
+};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Configuration of one [`Server`] instance.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port; see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Executor threads draining the pending queue.
+    pub executors: usize,
+    /// Worker threads of the engine each counting job runs on.
+    pub engine_workers: usize,
+    /// Admission high-water mark: verification requests beyond this many
+    /// pending are shed with a `"busy"` error.
+    pub max_pending: usize,
+    /// Idle warm sessions kept in the pool.
+    pub session_cap: usize,
+    /// Verdicts kept in the result cache.
+    pub cache_cap: usize,
+    /// Solver configuration for every session the daemon opens
+    /// (per-request `conflict_budget` overrides layer on top).
+    pub solver: SolverConfig,
+    /// Install a SIGTERM handler that triggers a graceful drain (daemon
+    /// mode; the in-process smoke leaves the host process's disposition
+    /// alone).
+    pub install_sigterm: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            executors: 2,
+            engine_workers: 2,
+            max_pending: 64,
+            session_cap: 8,
+            cache_cap: 1024,
+            solver: SolverConfig::default(),
+            install_sigterm: false,
+        }
+    }
+}
+
+/// Per-instance serve counters, surfaced through the `stats` op and the
+/// [`veriqec_obs::MetricsSnapshot`] vocabulary. Instance-owned (not
+/// globals) so parallel tests and stacked servers don't cross-talk.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Request lines received (any op).
+    pub requests: veriqec_obs::metrics::Counter,
+    /// Lines rejected with a parse/validation error.
+    pub malformed: veriqec_obs::metrics::Counter,
+    /// Verification requests shed by admission control.
+    pub shed: veriqec_obs::metrics::Counter,
+    /// Verification requests answered from the result cache.
+    pub cache_hits: veriqec_obs::metrics::Counter,
+    /// Verification requests that missed the result cache.
+    pub cache_misses: veriqec_obs::metrics::Counter,
+    /// Cache misses served by a pooled warm session (no re-encoding).
+    pub warm_hits: veriqec_obs::metrics::Counter,
+    /// Cache misses that built a fresh session or engine.
+    pub cold_builds: veriqec_obs::metrics::Counter,
+    /// Requests whose deadline tripped the stop flag.
+    pub deadline_trips: veriqec_obs::metrics::Counter,
+}
+
+impl ServeMetrics {
+    /// The counters as one [`veriqec_obs::MetricsSnapshot`].
+    pub fn snapshot(&self) -> veriqec_obs::MetricsSnapshot {
+        let mut m = veriqec_obs::MetricsSnapshot::new();
+        m.push_count("serve_requests", self.requests.get());
+        m.push_count("serve_malformed", self.malformed.get());
+        m.push_count("serve_shed", self.shed.get());
+        m.push_count("serve_cache_hits", self.cache_hits.get());
+        m.push_count("serve_cache_misses", self.cache_misses.get());
+        m.push_count("serve_warm_hits", self.warm_hits.get());
+        m.push_count("serve_cold_builds", self.cold_builds.get());
+        m.push_count("serve_deadline_trips", self.deadline_trips.get());
+        m
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.snapshot().entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let veriqec_obs::MetricValue::Count(c) = value else {
+                continue;
+            };
+            out.push_str(&format!("\"{name}\":{c}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One admitted verification request waiting for an executor.
+struct Pending {
+    req: VerifyRequest,
+    key: u64,
+    canonical: String,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<String>,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    config: ServeConfig,
+    metrics: ServeMetrics,
+    cache: ResultCache,
+    pool: SessionPool,
+    queue: Mutex<VecDeque<Pending>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(sig: i32, handler: SigHandler) -> isize;
+    }
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the drain-on-SIGTERM handler (async-signal-safe: the
+    /// handler only stores a flag the accept loop polls).
+    pub fn install() {
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+    }
+
+    pub fn pending() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+/// The daemon. Start with [`Server::start`], stop via a `shutdown` request,
+/// SIGTERM (when installed), or [`ServerHandle::shutdown`].
+pub struct Server;
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: std::thread::JoinHandle<()>,
+    executors: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` port requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current serve counters.
+    pub fn metrics(&self) -> veriqec_obs::MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Requests a graceful drain without a network round-trip.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Waits for the drain to complete: accept loop stopped, every
+    /// connection handler joined, pending queue empty, executors exited.
+    pub fn join(self) -> Result<(), String> {
+        self.accept.join().map_err(|_| "accept thread panicked")?;
+        for h in self.executors {
+            h.join().map_err(|_| "executor thread panicked")?;
+        }
+        Ok(())
+    }
+}
+
+impl Server {
+    /// Binds the listener and spawns the accept loop and executor pool.
+    pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        if config.install_sigterm {
+            #[cfg(unix)]
+            sigterm::install();
+        }
+        let shared = Arc::new(Shared {
+            cache: ResultCache::new(config.cache_cap),
+            pool: SessionPool::new(config.session_cap),
+            metrics: ServeMetrics::default(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let executors = (0..shared.config.executors.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-exec-{i}"))
+                    .spawn(move || executor_loop(&shared))
+                    .expect("spawn executor")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn accept loop")
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept,
+            executors,
+        })
+    }
+}
+
+fn shutting_down(shared: &Shared) -> bool {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return true;
+    }
+    #[cfg(unix)]
+    if shared.config.install_sigterm && sigterm::pending() {
+        shared.shutdown.store(true, Ordering::SeqCst);
+        shared.queue_cv.notify_all();
+        return true;
+    }
+    false
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutting_down(shared) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let h = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || {
+                        handle_connection(stream, &shared);
+                        veriqec_obs::flush_thread();
+                    })
+                    .expect("spawn connection handler");
+                handlers.push(h);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    // Drain: handlers poll the shutdown flag at their read timeout, so
+    // every one exits promptly even on an idle keep-alive connection.
+    for h in handlers {
+        let _ = h.join();
+    }
+    veriqec_obs::flush_thread();
+}
+
+/// Reads newline-delimited requests off one connection until EOF or
+/// shutdown. Read timeouts keep the thread responsive to the drain flag
+/// without dropping a partially received line.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shutting_down(shared) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return,                            // EOF
+            Ok(_) if !line.ends_with('\n') => continue, // timeout mid-line
+            Ok(_) => {
+                let response = handle_line(line.trim(), shared);
+                line.clear();
+                if writeln!(writer, "{response}")
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answers one request line: control ops and cache hits inline, the rest
+/// through admission control and the executor pool.
+fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
+    if line.is_empty() {
+        return error_response(None, "empty request line");
+    }
+    shared.metrics.requests.add(1);
+    let _g = veriqec_obs::span("serve", "request");
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(msg) => {
+            shared.metrics.malformed.add(1);
+            return error_response(None, &msg);
+        }
+    };
+    match req {
+        Request::Stats => format!("{{\"ok\":true,\"stats\":{}}}", shared.metrics.to_json()),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            "{\"ok\":true,\"draining\":true}".to_string()
+        }
+        Request::Verify(req) => {
+            let canonical = canonical_request(&req);
+            let key = fnv1a(canonical.as_bytes());
+            if let Some(hit) = shared.cache.lookup(key, &canonical) {
+                shared.metrics.cache_hits.add(1);
+                veriqec_obs::instant("serve", "cache_hit", &[]);
+                return verify_response(
+                    &req.id,
+                    key,
+                    &hit.outcome,
+                    true,
+                    "cache",
+                    0,
+                    0,
+                    &hit.report_json,
+                    None,
+                );
+            }
+            shared.metrics.cache_misses.add(1);
+            let deadline = req
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            let (reply_tx, reply_rx) = mpsc::channel();
+            {
+                let mut queue = lock(&shared.queue);
+                if shutting_down(shared) {
+                    return error_response(req.id.as_deref(), "shutting down");
+                }
+                if queue.len() >= shared.config.max_pending {
+                    shared.metrics.shed.add(1);
+                    veriqec_obs::instant("serve", "shed", &[]);
+                    return error_response(req.id.as_deref(), "busy");
+                }
+                queue.push_back(Pending {
+                    req: *req,
+                    key,
+                    canonical,
+                    enqueued: Instant::now(),
+                    deadline,
+                    reply: reply_tx,
+                });
+            }
+            shared.queue_cv.notify_one();
+            match reply_rx.recv() {
+                Ok(response) => response,
+                Err(_) => error_response(None, "shutting down"),
+            }
+        }
+    }
+}
+
+/// Executor thread body: drains the pending queue, exiting only once the
+/// shutdown flag is set *and* the queue is empty (graceful drain —
+/// admitted work is always answered).
+fn executor_loop(shared: &Arc<Shared>) {
+    loop {
+        let pending = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(p) = queue.pop_front() {
+                    break Some(p);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = q;
+                if shutting_down(shared) && queue.is_empty() {
+                    break None;
+                }
+            }
+        };
+        let Some(pending) = pending else {
+            break;
+        };
+        let reply = pending.reply.clone();
+        let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_verify(pending, shared)
+        })) {
+            Ok(response) => response,
+            Err(_) => error_response(None, "internal error: job panicked"),
+        };
+        let _ = reply.send(response);
+    }
+    veriqec_obs::flush_thread();
+}
+
+/// A watchdog that raises `flag` at `deadline` unless `done` is set first.
+/// Detached: at worst it outlives the request by the remaining deadline,
+/// holding only its two atomics.
+fn spawn_watchdog(
+    deadline: Instant,
+    flag: Arc<AtomicBool>,
+    done: Arc<AtomicBool>,
+    tripped: Arc<AtomicBool>,
+) {
+    std::thread::Builder::new()
+        .name("serve-deadline".into())
+        .spawn(move || {
+            while !done.load(Ordering::SeqCst) {
+                let now = Instant::now();
+                if now >= deadline {
+                    if !done.load(Ordering::SeqCst) {
+                        tripped.store(true, Ordering::SeqCst);
+                        flag.store(true, Ordering::SeqCst);
+                    }
+                    return;
+                }
+                std::thread::sleep((deadline - now).min(Duration::from_millis(10)));
+            }
+        })
+        .expect("spawn watchdog");
+}
+
+struct DeadlineGuard {
+    done: Arc<AtomicBool>,
+    tripped: Arc<AtomicBool>,
+}
+
+impl DeadlineGuard {
+    /// Arms a watchdog for `deadline` (if any) on `flag`.
+    fn arm(deadline: Option<Instant>, flag: &Arc<AtomicBool>) -> Self {
+        let done = Arc::new(AtomicBool::new(false));
+        let tripped = Arc::new(AtomicBool::new(false));
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                // Already expired at claim time (queue wait ate the whole
+                // budget): trip synchronously, so the outcome cannot race a
+                // watchdog thread against a fast job.
+                tripped.store(true, Ordering::SeqCst);
+                flag.store(true, Ordering::SeqCst);
+            } else {
+                spawn_watchdog(
+                    deadline,
+                    Arc::clone(flag),
+                    Arc::clone(&done),
+                    Arc::clone(&tripped),
+                );
+            }
+        }
+        DeadlineGuard { done, tripped }
+    }
+
+    fn tripped(&self) -> bool {
+        self.done.store(true, Ordering::SeqCst);
+        self.tripped.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Runs one admitted verification request to completion and renders its
+/// response.
+fn handle_verify(pending: Pending, shared: &Arc<Shared>) -> String {
+    let _g = veriqec_obs::span_with("serve", || format!("verify:{}", pending.req.kind.tag()));
+    let Pending {
+        req,
+        key,
+        canonical,
+        enqueued,
+        deadline,
+        reply: _reply,
+    } = pending;
+    let queue_wait = enqueued.elapsed();
+    let code = match resolve_code(&req.code) {
+        Ok(code) => code,
+        Err(msg) => {
+            shared.metrics.malformed.add(1);
+            return error_response(req.id.as_deref(), &msg);
+        }
+    };
+    let mut solver = shared.config.solver;
+    if req.conflict_budget.is_some() {
+        solver.conflict_budget = req.conflict_budget;
+    }
+    let job_name = format!("{}:{}", req.kind.tag(), req.code.key());
+    let started = Instant::now();
+
+    let (outcome, reason, stats, dd, session_kind, encodes, queries) = match &req.kind {
+        RequestKind::Detection { .. } | RequestKind::Distance { .. } => {
+            let pool_key = format!(
+                "det|{}|r{}|cb{:?}",
+                req.code.key(),
+                req.rounds,
+                req.conflict_budget
+            );
+            let (mut session, warm) = match shared.pool.checkout(&pool_key) {
+                Some(WarmSession::Detection(s)) => (s, true),
+                Some(other) => {
+                    // A mis-keyed session kind is a bug; rebuild cold
+                    // rather than serve the wrong formula.
+                    drop(other);
+                    (build_detection(&code, req.rounds, solver), false)
+                }
+                None => (build_detection(&code, req.rounds, solver), false),
+            };
+            if warm {
+                shared.metrics.warm_hits.add(1);
+            } else {
+                shared.metrics.cold_builds.add(1);
+            }
+            let flag = Arc::new(AtomicBool::new(false));
+            session.set_stop_flag(Arc::clone(&flag));
+            let guard = DeadlineGuard::arm(deadline, &flag);
+            let outcome = match &req.kind {
+                RequestKind::Detection { dt } => JobOutcome::Detection(session.check(*dt)),
+                RequestKind::Distance { max } => {
+                    let max = max
+                        .or_else(|| code.claimed_distance().map(|d| d + 1))
+                        .unwrap_or(code.n());
+                    JobOutcome::Distance(session.find_distance(max))
+                }
+                _ => unreachable!("outer match arm"),
+            };
+            let tripped = guard.tripped();
+            if tripped {
+                shared.metrics.deadline_trips.add(1);
+            }
+            let reason = budget_reason(
+                &outcome,
+                tripped,
+                session.unknown_cause().map(|c| c.to_string()),
+            );
+            let stats = session.solver_stats();
+            let (encodes, queries) = (session.encode_count(), session.query_count());
+            shared
+                .pool
+                .checkin(pool_key, WarmSession::Detection(session));
+            let kind = if warm { "warm" } else { "cold" };
+            (
+                outcome,
+                reason,
+                stats,
+                Default::default(),
+                kind,
+                encodes,
+                queries,
+            )
+        }
+        RequestKind::FaultTolerance {
+            max_t_data,
+            max_t_meas,
+        } => {
+            let rounds = req.rounds.max(1);
+            let pool_key = format!(
+                "ft|{}|{:?}|r{}|cb{:?}",
+                req.code.key(),
+                req.model,
+                rounds,
+                req.conflict_budget
+            );
+            let (mut sweep, warm) = match shared.pool.checkout(&pool_key) {
+                Some(WarmSession::Frontier(s)) => (s, true),
+                _ => {
+                    let scenario = faulty_memory_scenario(&code, req.model, rounds);
+                    (
+                        Box::new(FaultToleranceSweep::new(&scenario, vec![], solver)),
+                        false,
+                    )
+                }
+            };
+            if warm {
+                shared.metrics.warm_hits.add(1);
+            } else {
+                shared.metrics.cold_builds.add(1);
+            }
+            let flag = Arc::new(AtomicBool::new(false));
+            sweep.set_stop_flag(Arc::clone(&flag));
+            let guard = DeadlineGuard::arm(deadline, &flag);
+            let mut frontier = FaultToleranceFrontier::default();
+            'grid: for td in 0..=*max_t_data {
+                for tm in 0..=*max_t_meas {
+                    let correctable = match sweep.check(td as i64, tm as i64) {
+                        VcOutcome::Verified => Some(true),
+                        VcOutcome::CounterExample(_) => Some(false),
+                        VcOutcome::Unknown => None,
+                    };
+                    frontier.points.push(FrontierPoint {
+                        t_data: td,
+                        t_meas: tm,
+                        correctable,
+                    });
+                    if correctable.is_none() {
+                        break 'grid;
+                    }
+                }
+            }
+            let outcome = JobOutcome::Frontier(frontier);
+            let tripped = guard.tripped();
+            if tripped {
+                shared.metrics.deadline_trips.add(1);
+            }
+            let reason = budget_reason(
+                &outcome,
+                tripped,
+                sweep.session().unknown_cause().map(|c| c.to_string()),
+            );
+            let stats = sweep.session().solver_stats();
+            let (encodes, queries) = (sweep.encode_count(), sweep.query_count());
+            shared.pool.checkin(pool_key, WarmSession::Frontier(sweep));
+            let kind = if warm { "warm" } else { "cold" };
+            (
+                outcome,
+                reason,
+                stats,
+                Default::default(),
+                kind,
+                encodes,
+                queries,
+            )
+        }
+        RequestKind::Count => {
+            let engine = Engine::new(EngineConfig {
+                workers: shared.config.engine_workers.max(1),
+                solver,
+            });
+            let flag = engine.cancel_flag();
+            let guard = DeadlineGuard::arm(deadline, &flag);
+            let compile = CompileConfig {
+                node_limit: req.node_limit.or(CompileConfig::default().node_limit),
+                ..CompileConfig::default()
+            };
+            let report = engine.run(vec![Job::count_with_config(
+                job_name.clone(),
+                code.clone(),
+                compile,
+            )]);
+            let tripped = guard.tripped();
+            if tripped {
+                shared.metrics.deadline_trips.add(1);
+            }
+            shared.metrics.cold_builds.add(1);
+            let job = report.jobs.into_iter().next().expect("one job submitted");
+            let reason = if tripped {
+                Some("deadline_exceeded".to_string())
+            } else {
+                job.reason
+            };
+            (job.outcome, reason, job.stats, job.dd, "engine", 1, 1)
+        }
+    };
+
+    let report = BatchReport {
+        jobs: vec![JobReport {
+            name: job_name,
+            outcome,
+            subtasks: 1,
+            busy_time: started.elapsed(),
+            queue_wait,
+            reason,
+            stats,
+            dd,
+        }],
+        wall_time: started.elapsed(),
+        workers: 1,
+        phases: vec![],
+    };
+    let report_json = report.to_json();
+    let job = &report.jobs[0];
+    let outcome_tag = extract_outcome_tag(&report_json);
+    if job.outcome.is_conclusive() {
+        shared.cache.insert(
+            key,
+            CacheEntry {
+                canonical,
+                outcome: outcome_tag.clone(),
+                report_json: report_json.clone(),
+            },
+        );
+    }
+    verify_response(
+        &req.id,
+        key,
+        &outcome_tag,
+        false,
+        session_kind,
+        encodes,
+        queries,
+        &report_json,
+        job.reason.as_deref(),
+    )
+}
+
+fn build_detection(
+    code: &veriqec_codes::StabilizerCode,
+    rounds: usize,
+    solver: SolverConfig,
+) -> Box<DetectionSession> {
+    if rounds == 0 {
+        Box::new(DetectionSession::new(code, solver))
+    } else {
+        let schedule = ExtractionSchedule::repeated(code.generators().len(), rounds);
+        Box::new(DetectionSession::with_schedule(code, &schedule, solver))
+    }
+}
+
+/// The budget-trip reason for an inconclusive outcome: the deadline
+/// watchdog wins over the solver's own cause (the watchdog *is* what
+/// raised the stop flag).
+fn budget_reason(
+    outcome: &JobOutcome,
+    tripped: bool,
+    solver_cause: Option<String>,
+) -> Option<String> {
+    if outcome.is_conclusive() {
+        return None;
+    }
+    if tripped {
+        return Some("deadline_exceeded".to_string());
+    }
+    solver_cause
+}
+
+/// Reads `"outcome":"…"` back out of the rendered report so the envelope
+/// and the cache agree with [`BatchReport::to_json`] byte-for-byte.
+fn extract_outcome_tag(report_json: &str) -> String {
+    crate::json::Json::parse(report_json)
+        .ok()
+        .and_then(|doc| {
+            doc.get("jobs")?
+                .as_arr()?
+                .first()?
+                .get("outcome")?
+                .as_str()
+                .map(str::to_string)
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn error_response(id: Option<&str>, msg: &str) -> String {
+    let id_field = id.map(|t| format!("\"id\":{t},")).unwrap_or_default();
+    format!(
+        "{{{id_field}\"ok\":false,\"error\":\"{}\"}}",
+        json_escape(msg)
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn verify_response(
+    id: &Option<String>,
+    key: u64,
+    outcome: &str,
+    cached: bool,
+    session: &str,
+    encodes: usize,
+    queries: usize,
+    report_json: &str,
+    reason: Option<&str>,
+) -> String {
+    let id_field = id
+        .as_deref()
+        .map(|t| format!("\"id\":{t},"))
+        .unwrap_or_default();
+    let reason_field = reason
+        .map(|r| format!(",\"reason\":\"{}\"", json_escape(r)))
+        .unwrap_or_default();
+    format!(
+        "{{{id_field}\"ok\":true,\"outcome\":\"{}\",\"cached\":{cached},\
+         \"session\":\"{session}\",\"encodes\":{encodes},\"queries\":{queries},\
+         \"cache_key\":\"{key:016x}\"{reason_field},\"report\":{report_json}}}",
+        json_escape(outcome),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<Json> {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let mut out = Vec::new();
+        for line in lines {
+            writeln!(writer, "{line}").expect("write");
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("read");
+            out.push(Json::parse(response.trim()).expect("response parses"));
+        }
+        out
+    }
+
+    #[test]
+    fn serves_cold_then_cached_then_warm() {
+        let handle = Server::start(ServeConfig::default()).expect("bind");
+        let addr = handle.addr();
+        let distance = r#"{"id":1,"kind":"distance","code":"five_qubit","max":4}"#;
+        let rs = roundtrip(addr, &[distance, distance]);
+        assert_eq!(rs[0].get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            rs[0].get("outcome").unwrap().as_str(),
+            Some("distance_exact")
+        );
+        assert_eq!(rs[0].get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(rs[0].get("session").unwrap().as_str(), Some("cold"));
+        assert_eq!(
+            rs[0]
+                .get("report")
+                .unwrap()
+                .get("jobs")
+                .unwrap()
+                .as_arr()
+                .unwrap()[0]
+                .get("distance")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(rs[1].get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(rs[1].get("session").unwrap().as_str(), Some("cache"));
+        // A different dt against the same code reuses the pooled session.
+        let rs = roundtrip(
+            addr,
+            &[r#"{"kind":"detection","code":"five_qubit","dt":3}"#],
+        );
+        assert_eq!(rs[0].get("session").unwrap().as_str(), Some("warm"));
+        assert_eq!(rs[0].get("encodes").unwrap().as_f64(), Some(1.0));
+        let m = handle.metrics();
+        assert!(m.count("serve_cache_hits") >= 1);
+        assert!(m.count("serve_warm_hits") >= 1);
+        handle.shutdown();
+        handle.join().expect("clean join");
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_structured_errors() {
+        let handle = Server::start(ServeConfig::default()).expect("bind");
+        let rs = roundtrip(
+            handle.addr(),
+            &[
+                "{not json",
+                r#"{"op":"frobnicate"}"#,
+                r#"{"id":3,"kind":"distance","code":"bogus_code"}"#,
+                r#"{"kind":"distance","code":"five_qubit","max":3}"#,
+            ],
+        );
+        assert_eq!(rs[0].get("ok").unwrap().as_bool(), Some(false));
+        assert!(rs[0]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("parse"));
+        assert_eq!(rs[1].get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(rs[2].get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(rs[2].get("id").unwrap().as_f64(), Some(3.0));
+        // The server survives all of it.
+        assert_eq!(rs[3].get("ok").unwrap().as_bool(), Some(true));
+        handle.shutdown();
+        handle.join().expect("clean join");
+    }
+
+    #[test]
+    fn admission_control_sheds_past_the_high_water_mark() {
+        let config = ServeConfig {
+            max_pending: 0,
+            ..ServeConfig::default()
+        };
+        let handle = Server::start(config).expect("bind");
+        // With a zero-length queue every verification request is shed; the
+        // executor never sees it, so no session is built.
+        let rs = roundtrip(
+            handle.addr(),
+            &[r#"{"kind":"distance","code":"steane","max":3}"#],
+        );
+        assert_eq!(rs[0].get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(rs[0].get("error").unwrap().as_str(), Some("busy"));
+        assert_eq!(handle.metrics().count("serve_shed"), 1);
+        handle.shutdown();
+        handle.join().expect("clean join");
+    }
+
+    #[test]
+    fn shutdown_request_drains_cleanly() {
+        let handle = Server::start(ServeConfig::default()).expect("bind");
+        let rs = roundtrip(handle.addr(), &[r#"{"op":"shutdown"}"#]);
+        assert_eq!(rs[0].get("draining").unwrap().as_bool(), Some(true));
+        handle.join().expect("clean join");
+    }
+}

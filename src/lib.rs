@@ -17,6 +17,7 @@ pub use veriqec_pauli;
 pub use veriqec_prog;
 pub use veriqec_qsim;
 pub use veriqec_sat;
+pub use veriqec_serve;
 pub use veriqec_smt;
 pub use veriqec_vcgen;
 pub use veriqec_wp;

@@ -128,6 +128,44 @@ fn fault_tolerance_report_exposes_the_frontier_grid() {
 }
 
 #[test]
+fn cancelled_before_claim_jobs_report_finite_queue_wait() {
+    use std::sync::atomic::Ordering;
+
+    // Cancel the batch before any worker can claim a job: every job's
+    // internal queue-wait stays `None`, and this pins what the reports
+    // emit for that case — a finite `queue_wait_ms` (the whole batch
+    // wait), never a NaN or a missing field.
+    let engine = Engine::new(EngineConfig::default());
+    engine.cancel_flag().store(true, Ordering::Relaxed);
+    let batch = engine.run(vec![
+        Job::distance("precancelled_distance", steane(), 3),
+        Job::detection("precancelled_detection", five_qubit(), 3),
+    ]);
+
+    let doc = Json::parse(&batch.to_json()).expect("engine emits valid JSON");
+    // The shared envelope already requires queue_wait_ms to be present and
+    // non-negative on every job.
+    let jobs = check_envelope(&doc);
+    assert_eq!(jobs.len(), 2);
+    for job in &jobs {
+        assert_eq!(job.get("outcome").unwrap().as_str(), Some("cancelled"));
+        assert_eq!(job.get("reason").unwrap().as_str(), Some("cancelled"));
+        let qw = job.get("queue_wait_ms").unwrap().as_f64().unwrap();
+        assert!(qw.is_finite() && qw >= 0.0, "queue_wait_ms was {qw}");
+        // Unclaimed jobs burned no worker time and issued no subtasks.
+        assert_eq!(job.get("subtasks").unwrap().as_f64(), Some(0.0));
+        assert_eq!(job.get("busy_ms").unwrap().as_f64(), Some(0.0));
+    }
+
+    // The markdown rendering rows the same jobs as cancelled, with a
+    // rendered (non-NaN) queue column.
+    let md = batch.to_markdown();
+    assert!(md.contains("| precancelled_distance | cancelled | 0 |"));
+    assert!(md.contains("| precancelled_detection | cancelled | 0 |"));
+    assert!(!md.contains("NaN"));
+}
+
+#[test]
 fn kernels_report_matches_the_gate_schema() {
     // The writer the `kernels` mode uses, on representative metrics — the
     // measurement itself is covered by the bench targets; this pins the
